@@ -1,0 +1,88 @@
+// Figure 13: system scalability — Thunderbolt vs Thunderbolt-OCC vs Tusk
+// on 8..64 replicas, LAN and WAN, SmallBank Pr = 0.5, 1000 accounts,
+// theta = 0.85, batch 500, 16 executors + 16 validators per replica.
+//
+// Also prints the paper's headline: Thunderbolt's speedup over serial
+// Tusk execution at the largest scale (paper: ~50x at 64 replicas).
+#include "bench/bench_util.h"
+#include "core/cluster.h"
+
+namespace thunderbolt {
+namespace {
+
+struct RunOut {
+  double tps = 0;
+  double latency_s = 0;
+};
+
+RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
+              SimTime warmup, SimTime duration) {
+  core::ThunderboltConfig cfg;
+  cfg.n = n;
+  cfg.mode = mode;
+  cfg.batch_size = 500;
+  cfg.num_executors = 16;
+  cfg.num_validators = 16;
+  cfg.latency = wan ? net::LatencyModel::Wan() : net::LatencyModel::Lan();
+  cfg.seed = 77;
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 1000;
+  wc.theta = 0.85;
+  wc.read_ratio = 0.5;
+  wc.seed = 78;
+
+  core::Cluster cluster(cfg, wc);
+  cluster.Run(warmup);  // Excluded: pipeline fill / first commits.
+  core::ClusterResult r = cluster.Run(duration);
+  return RunOut{r.throughput_tps, r.avg_latency_s};
+}
+
+}  // namespace
+}  // namespace thunderbolt
+
+int main(int argc, char** argv) {
+  using namespace thunderbolt;
+  const bool quick = bench::QuickMode(argc, argv);
+  bench::Banner(
+      "Figure 13", "throughput & latency vs replica count (LAN and WAN)",
+      "Thunderbolt scales with replicas and beats Tusk by ~50x at 64 "
+      "replicas; Thunderbolt-OCC tracks Thunderbolt but lags at scale; "
+      "Tusk throughput stays flat (~11K tps) with latency growing to "
+      "~100 s; WAN shows the same ordering with higher latencies");
+
+  const core::ExecutionMode modes[] = {core::ExecutionMode::kThunderbolt,
+                                       core::ExecutionMode::kThunderboltOcc,
+                                       core::ExecutionMode::kTusk};
+  const char* mode_names[] = {"Thunderbolt", "Thunderbolt-OCC", "Tusk"};
+
+  double tb64 = 0, tusk64 = 0;
+  for (bool wan : {false, true}) {
+    std::printf("\n--- %s ---\n", wan ? "WAN" : "LAN");
+    bench::Table table(
+        {"system", "replicas", "tput(tps)", "latency(s)"});
+    for (int mi = 0; mi < 3; ++mi) {
+      for (uint32_t n : {8u, 16u, 32u, 64u}) {
+        // Large simulations are costly in real time; shrink the virtual
+        // measurement window with scale (steady state is reached after
+        // the warm-up window, which is excluded from the measurement).
+        SimTime warmup = wan ? Seconds(2) : Seconds(1);
+        SimTime duration = quick ? Seconds(n >= 64 ? 2 : 3)
+                                 : Seconds(n >= 32 ? 3 : 5);
+        RunOut out = RunOne(modes[mi], n, wan, warmup, duration);
+        table.Row({mode_names[mi], bench::FmtInt(n), bench::Fmt(out.tps, 0),
+                   bench::Fmt(out.latency_s, 2)});
+        if (!wan && n == 64) {
+          if (mi == 0) tb64 = out.tps;
+          if (mi == 2) tusk64 = out.tps;
+        }
+      }
+    }
+  }
+  if (tusk64 > 0) {
+    std::printf(
+        "\nHeadline: Thunderbolt over serial Tusk at 64 replicas (LAN): "
+        "%.1fx (paper: ~50x)\n",
+        tb64 / tusk64);
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Component microbenchmarks (google-benchmark): hashing, signatures, the
+// concurrency controller, the executor pool, validation, and the workload
+// generator. These are wall-clock benchmarks of the implementation itself
+// (not the simulated system) — useful for tracking regressions.
+#include <benchmark/benchmark.h>
+
+#include "baselines/serial_executor.h"
+#include "ce/concurrency_controller.h"
+#include "ce/sim_executor_pool.h"
+#include "contract/contract.h"
+#include "core/validator.h"
+#include "crypto/signature.h"
+#include "workload/smallbank_workload.h"
+
+namespace thunderbolt {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SignVerify(benchmark::State& state) {
+  auto dir = crypto::KeyDirectory::Create(4, 1);
+  Hash256 digest = Sha256::Digest("message");
+  crypto::Signature sig = dir.key(0).Sign(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.Verify(digest, sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_QuorumValidate(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto dir = crypto::KeyDirectory::Create(n, 1);
+  Hash256 digest = Sha256::Digest("block");
+  crypto::QuorumCert qc;
+  qc.digest = digest;
+  for (uint32_t i = 0; i < QuorumSize(n); ++i) {
+    qc.signatures.push_back(dir.key(i).Sign(digest));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc.Validate(dir, n).ok());
+  }
+}
+BENCHMARK(BM_QuorumValidate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(1);
+  ZipfianGenerator zipf(1000000, 0.85);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_WorkloadGen(benchmark::State& state) {
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 10000;
+  workload::SmallBankWorkload w(wc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Next());
+  }
+}
+BENCHMARK(BM_WorkloadGen);
+
+void BM_CcBatch(benchmark::State& state) {
+  // Real-time cost of executing one SmallBank batch through the CC with
+  // the simulated pool (the dominant cost of cluster simulations).
+  uint32_t batch_size = static_cast<uint32_t>(state.range(0));
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 1000;
+  wc.theta = 0.85;
+  wc.seed = 3;
+  workload::SmallBankWorkload w(wc);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  auto registry = contract::Registry::CreateDefault();
+  ce::SimExecutorPool pool(16, ce::ExecutionCostModel{});
+  for (auto _ : state) {
+    auto batch = w.MakeBatch(batch_size);
+    ce::ConcurrencyController cc(&store, batch_size);
+    auto r = pool.Run(cc, *registry, batch);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch_size);
+}
+BENCHMARK(BM_CcBatch)->Arg(100)->Arg(500);
+
+void BM_SerialBatch(benchmark::State& state) {
+  uint32_t batch_size = static_cast<uint32_t>(state.range(0));
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 1000;
+  wc.seed = 4;
+  workload::SmallBankWorkload w(wc);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  auto registry = contract::Registry::CreateDefault();
+  for (auto _ : state) {
+    auto batch = w.MakeBatch(batch_size);
+    benchmark::DoNotOptimize(
+        baselines::ExecuteSerial(*registry, batch, &store, Micros(1)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch_size);
+}
+BENCHMARK(BM_SerialBatch)->Arg(500);
+
+void BM_Validation(benchmark::State& state) {
+  uint32_t batch_size = 500;
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 1000;
+  wc.theta = 0.85;
+  wc.seed = 5;
+  workload::SmallBankWorkload w(wc);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  auto registry = contract::Registry::CreateDefault();
+  auto batch = w.MakeBatch(batch_size);
+  ce::ConcurrencyController cc(&store, batch_size);
+  ce::SimExecutorPool pool(16, ce::ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry, batch);
+  std::vector<core::PreplayedTxn> preplayed;
+  for (ce::TxnSlot slot : r->order) {
+    core::PreplayedTxn p;
+    p.tx = batch[slot];
+    p.rw_set = r->records[slot].rw_set;
+    p.emitted = r->records[slot].emitted;
+    preplayed.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ValidatePreplay(*registry, preplayed, store).valid);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch_size);
+}
+BENCHMARK(BM_Validation);
+
+}  // namespace
+}  // namespace thunderbolt
+
+BENCHMARK_MAIN();

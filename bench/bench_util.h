@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// (see DESIGN.md section 3): it sweeps the same parameters, prints the
+// series as an aligned CSV-style table, and states the qualitative
+// expectation from the paper so the output is self-checking.
+#ifndef THUNDERBOLT_BENCH_BENCH_UTIL_H_
+#define THUNDERBOLT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace thunderbolt::bench {
+
+/// Prints the figure banner.
+inline void Banner(const char* figure, const char* description,
+                   const char* expectation) {
+  std::printf("\n");
+  std::printf(
+      "==============================================================="
+      "=======\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Paper expectation: %s\n", expectation);
+  std::printf(
+      "==============================================================="
+      "=======\n");
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (const auto& c : columns_) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) std::printf("%14s", "----");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+/// Parses "--quick" from argv: benches shorten their virtual durations so
+/// the whole suite runs in CI-friendly time.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace thunderbolt::bench
+
+#endif  // THUNDERBOLT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// Cross-shard transactions and custom TBVM contracts.
+//
+// Part 1 runs a 4-replica cluster at increasing cross-shard ratios and
+// shows the EOV/OE split: cross-shard payments bypass preplay (rule P1)
+// and execute deterministically after consensus, while conflicting
+// single-shard transactions defer or convert (rules P4/P6).
+//
+// Part 2 registers a *custom* TBVM bytecode contract — an escrow that
+// releases funds only when a flag key is set — and runs it through the CE,
+// demonstrating that user-defined contracts with data-dependent access
+// patterns work end to end.
+//
+//   ./examples/cross_shard_demo
+#include <cstdio>
+
+#include "ce/concurrency_controller.h"
+#include "ce/sim_executor_pool.h"
+#include "contract/tbvm.h"
+#include "core/cluster.h"
+
+using namespace thunderbolt;
+
+int main() {
+  std::printf("--- Part 1: cross-shard ratio sweep (4 replicas) ---\n");
+  std::printf("%8s %12s %12s %12s %12s\n", "cross%", "tput(tps)", "single",
+              "cross", "converted");
+  for (double pct : {0.0, 0.1, 0.5, 1.0}) {
+    core::ThunderboltConfig cfg;
+    cfg.n = 4;
+    cfg.batch_size = 200;
+    workload::SmallBankConfig wc;
+    wc.num_accounts = 1000;
+    wc.cross_shard_ratio = pct;
+    core::Cluster cluster(cfg, wc);
+    core::ClusterResult r = cluster.Run(Seconds(4));
+    std::printf("%8.0f %12.0f %12llu %12llu %12llu\n", pct * 100,
+                r.throughput_tps, (unsigned long long)r.committed_single,
+                (unsigned long long)r.committed_cross,
+                (unsigned long long)r.conversions);
+  }
+
+  std::printf("\n--- Part 2: custom TBVM escrow contract ---\n");
+  // escrow_release(account): if [account/flag] != 0, move [account/escrow]
+  // into [account/checking] and clear the escrow. The write set depends on
+  // the flag read at runtime.
+  contract::TbProgram escrow;
+  escrow.suffixes = {"flag", "escrow", "checking"};
+  escrow.code = {
+      {contract::TbOp::kMakeKey, 0, 0, 0},   // k0 = a/flag
+      {contract::TbOp::kRead, 0, 0, 0},      // r0 = flag
+      {contract::TbOp::kJz, 0, 0, 0, 11},    // flag == 0 -> emit 0, halt
+      {contract::TbOp::kMakeKey, 1, 0, 1},   // k1 = a/escrow
+      {contract::TbOp::kMakeKey, 2, 0, 2},   // k2 = a/checking
+      {contract::TbOp::kRead, 1, 1, 0},      // r1 = escrow
+      {contract::TbOp::kRead, 2, 2, 0},      // r2 = checking
+      {contract::TbOp::kAdd, 3, 1, 2},       // r3 = escrow + checking
+      {contract::TbOp::kWrite, 2, 3, 0},     // checking = r3
+      {contract::TbOp::kLoadImm, 4, 0, 0, 0},
+      {contract::TbOp::kWrite, 1, 4, 0},     // escrow = 0
+      {contract::TbOp::kEmit, 0, 0, 0},      // emits flag (0 if declined)
+      {contract::TbOp::kHalt, 0, 0, 0},
+  };
+
+  auto registry = contract::Registry::CreateDefault();
+  registry->Register("demo.escrow_release",
+                     std::make_unique<contract::TbvmContract>(escrow));
+
+  storage::MemKVStore store;
+  store.Put("alice/flag", 1);  // Alice's escrow is releasable.
+  store.Put("alice/escrow", 500);
+  store.Put("alice/checking", 100);
+  store.Put("bob/flag", 0);  // Bob's is not.
+  store.Put("bob/escrow", 300);
+  store.Put("bob/checking", 50);
+
+  std::vector<txn::Transaction> batch(2);
+  batch[0].id = 1;
+  batch[0].contract = "demo.escrow_release";
+  batch[0].accounts = {"alice"};
+  batch[1].id = 2;
+  batch[1].contract = "demo.escrow_release";
+  batch[1].accounts = {"bob"};
+
+  ce::ConcurrencyController cc(&store, 2);
+  ce::SimExecutorPool pool(2, ce::ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry, batch);
+  if (!r.ok()) {
+    std::fprintf(stderr, "escrow batch failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  store.Write(r->final_writes);
+  std::printf("alice: released=%lld checking=%lld escrow=%lld\n",
+              (long long)r->records[0].emitted[0],
+              (long long)store.GetOrDefault("alice/checking", 0),
+              (long long)store.GetOrDefault("alice/escrow", 0));
+  std::printf("bob:   released=%lld checking=%lld escrow=%lld\n",
+              (long long)r->records[1].emitted[0],
+              (long long)store.GetOrDefault("bob/checking", 0),
+              (long long)store.GetOrDefault("bob/escrow", 0));
+  std::printf("note: alice's run wrote 2 keys, bob's wrote none — the "
+              "write sets were decided by the flag read at runtime\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Non-blocking reconfiguration in action (paper section 6).
+//
+// Phase 1: periodic rotation — K' = 12 forces frequent Shift blocks; the
+//          DAG switches epochs and shard ownership rotates round-robin
+//          while commits keep flowing.
+// Phase 2: censorship response — a replica crashes (equivalently, censors
+//          its shard); after K rounds of silence the honest replicas emit
+//          Shift blocks and rotate the victim's shard to a live replica.
+//
+//   ./examples/reconfiguration_demo
+#include <cstdio>
+
+#include "core/cluster.h"
+
+using namespace thunderbolt;
+
+namespace {
+
+void Report(const char* phase, const core::ClusterResult& r,
+            const core::Cluster& cluster) {
+  std::printf("\n=== %s ===\n", phase);
+  std::printf("committed txs        : %llu\n",
+              (unsigned long long)(r.committed_single + r.committed_cross));
+  std::printf("throughput           : %.0f tps\n", r.throughput_tps);
+  std::printf("reconfigurations     : %llu\n",
+              (unsigned long long)r.reconfigurations);
+  std::printf("shift blocks         : %llu\n",
+              (unsigned long long)r.shift_blocks);
+  std::printf("current epoch        : %llu\n",
+              (unsigned long long)cluster.node(0).epoch());
+  std::printf("replica 0 owns shard : %u\n", cluster.node(0).owned_shard());
+}
+
+}  // namespace
+
+int main() {
+  {
+    std::printf("--- Phase 1: periodic rotation (K' = 12) ---\n");
+    core::ThunderboltConfig cfg;
+    cfg.n = 4;
+    cfg.batch_size = 100;
+    cfg.reconfig_period_k_prime = 12;
+    workload::SmallBankConfig wc;
+    wc.num_accounts = 800;
+    core::Cluster cluster(cfg, wc);
+    core::ClusterResult r = cluster.Run(Seconds(8));
+    Report("periodic rotation", r, cluster);
+    if (r.reconfigurations == 0) {
+      std::printf("expected at least one reconfiguration!\n");
+      return 1;
+    }
+  }
+
+  {
+    std::printf("\n--- Phase 2: censorship response (K = 6) ---\n");
+    core::ThunderboltConfig cfg;
+    cfg.n = 4;
+    cfg.batch_size = 100;
+    cfg.silence_rounds_k = 6;
+    workload::SmallBankConfig wc;
+    wc.num_accounts = 800;
+    core::Cluster cluster(cfg, wc);
+    // Replica 2 goes silent early on: its shard stalls until the honest
+    // majority rotates it away.
+    cluster.CrashReplicaAt(2, Millis(500));
+    core::ClusterResult r = cluster.Run(Seconds(8));
+    Report("after censorship attack", r, cluster);
+    std::printf("note: the DAG never paused; Shift blocks rode ordinary "
+                "rounds (non-blocking reconfiguration)\n");
+    if (r.reconfigurations == 0) {
+      std::printf("expected a silence-triggered reconfiguration!\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// 2PL-No-Wait baseline (paper section 11.1).
+//
+// Executors access storage through a central lock controller. Every read
+// takes a shared lock and every write an exclusive lock on the key; if a
+// lock cannot be granted immediately the transaction releases all of its
+// locks and re-executes (no waiting, hence deadlock-free). Locks are held
+// until Finish, which applies the write buffer and releases everything.
+#ifndef THUNDERBOLT_BASELINES_TPL_NOWAIT_ENGINE_H_
+#define THUNDERBOLT_BASELINES_TPL_NOWAIT_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ce/batch_engine.h"
+
+namespace thunderbolt::baselines {
+
+using ce::BatchEngine;
+using ce::TxnRecord;
+using ce::TxnSlot;
+using storage::Key;
+using storage::Value;
+
+class TplNoWaitEngine final : public BatchEngine {
+ public:
+  TplNoWaitEngine(const storage::KVStore* base, uint32_t batch_size);
+
+  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
+    on_abort_ = std::move(cb);
+  }
+
+  uint32_t Begin(TxnSlot slot) override;
+  Result<Value> Read(TxnSlot slot, uint32_t incarnation,
+                     const Key& key) override;
+  Status Write(TxnSlot slot, uint32_t incarnation, const Key& key,
+               Value value) override;
+  void Emit(TxnSlot slot, uint32_t incarnation, Value value) override;
+  Status Finish(TxnSlot slot, uint32_t incarnation) override;
+
+  bool AllCommitted() const override { return committed_ == batch_size_; }
+  uint32_t committed_count() const override { return committed_; }
+  uint64_t total_aborts() const override { return total_aborts_; }
+  const std::vector<TxnSlot>& SerializationOrder() const override {
+    return order_;
+  }
+  TxnRecord ExtractRecord(TxnSlot slot) const override;
+  storage::WriteBatch FinalWrites() const override;
+
+  /// Introspection for tests: number of keys currently locked.
+  size_t LockedKeyCount() const;
+
+ private:
+  struct Lock {
+    std::set<TxnSlot> shared;
+    bool has_exclusive = false;
+    TxnSlot exclusive = 0;
+  };
+  struct Slot {
+    bool running = false;
+    bool committed = false;
+    uint32_t incarnation = 0;
+    uint32_t re_executions = 0;
+    int order = -1;
+    std::set<Key> held_locks;
+    std::map<Key, Value> reads;   // Value observed at first read.
+    std::map<Key, Value> writes;  // Local write buffer.
+    std::vector<Value> emitted;
+  };
+
+  Value Current(const Key& key) const;
+  void ReleaseLocks(TxnSlot slot);
+  void SelfAbort(TxnSlot slot);
+
+  const storage::KVStore* base_;
+  uint32_t batch_size_;
+  std::vector<Slot> slots_;
+  std::unordered_map<Key, Lock> locks_;
+  std::unordered_map<Key, Value> overlay_;  // Committed within the batch.
+  std::vector<TxnSlot> order_;
+  uint32_t committed_ = 0;
+  uint64_t total_aborts_ = 0;
+  std::function<void(TxnSlot)> on_abort_;
+};
+
+}  // namespace thunderbolt::baselines
+
+#endif  // THUNDERBOLT_BASELINES_TPL_NOWAIT_ENGINE_H_

@@ -1,0 +1,86 @@
+// BatchEngine: the common executor-facing interface implemented by every
+// concurrency-control engine in this repository — Thunderbolt's CC
+// (ce/concurrency_controller.h), and the OCC and 2PL-No-Wait baselines
+// (baselines/). The simulated executor pool (ce/sim_executor_pool.h) drives
+// any engine through this interface, which is what makes the Figure 11/12
+// comparisons apples-to-apples.
+#ifndef THUNDERBOLT_CE_BATCH_ENGINE_H_
+#define THUNDERBOLT_CE_BATCH_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::ce {
+
+using storage::Key;
+using storage::Value;
+
+/// Index of a transaction within the batch being executed.
+using TxnSlot = uint32_t;
+
+/// Sentinel for "value read from the root (committed storage)".
+inline constexpr TxnSlot kRootSlot = ~TxnSlot{0};
+
+/// Per-transaction outcome extracted after the batch commits.
+struct TxnRecord {
+  txn::ReadWriteSet rw_set;
+  std::vector<Value> emitted;   // Results surfaced to the client.
+  uint32_t re_executions = 0;   // Times the transaction was restarted.
+  int order = -1;               // Position in the serialization order.
+};
+
+/// A concurrency-control engine executing one batch of transactions.
+///
+/// Lifecycle per slot: Begin -> {Read|Write|Emit}* -> Finish. Any call may
+/// return Status::Aborted, after which the executor must re-run the
+/// transaction from scratch with the incarnation returned by a new Begin.
+/// Engines report *all* restarts (self-aborts and aborts inflicted by other
+/// transactions) through the abort callback; that callback is the single
+/// re-queue path for the executor pool.
+class BatchEngine {
+ public:
+  virtual ~BatchEngine() = default;
+
+  /// Registers the re-queue callback. Must be set before execution starts.
+  virtual void SetAbortCallback(std::function<void(TxnSlot)> cb) = 0;
+
+  /// Starts (or restarts) a slot; returns its current incarnation.
+  virtual uint32_t Begin(TxnSlot slot) = 0;
+
+  virtual Result<Value> Read(TxnSlot slot, uint32_t incarnation,
+                             const Key& key) = 0;
+  virtual Status Write(TxnSlot slot, uint32_t incarnation, const Key& key,
+                       Value value) = 0;
+  virtual void Emit(TxnSlot slot, uint32_t incarnation, Value value) = 0;
+
+  /// Finalization phase: the transaction issued all its operations.
+  /// Depending on the engine this validates and/or commits; commit may also
+  /// happen later when dependencies commit.
+  virtual Status Finish(TxnSlot slot, uint32_t incarnation) = 0;
+
+  virtual bool AllCommitted() const = 0;
+  virtual uint32_t committed_count() const = 0;
+
+  /// Total number of restarts across the batch (Figure 11's
+  /// "# of Re-executions" numerator).
+  virtual uint64_t total_aborts() const = 0;
+
+  /// The serialization order (slots). Meaningful once AllCommitted().
+  virtual const std::vector<TxnSlot>& SerializationOrder() const = 0;
+
+  virtual TxnRecord ExtractRecord(TxnSlot slot) const = 0;
+
+  /// Final value of every key written by the batch under the
+  /// serialization order.
+  virtual storage::WriteBatch FinalWrites() const = 0;
+};
+
+}  // namespace thunderbolt::ce
+
+#endif  // THUNDERBOLT_CE_BATCH_ENGINE_H_

@@ -1,0 +1,482 @@
+#include "ce/concurrency_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace thunderbolt::ce {
+
+namespace {
+
+void EraseFromVector(std::vector<TxnSlot>& v, TxnSlot slot) {
+  v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+}
+
+}  // namespace
+
+ConcurrencyController::ConcurrencyController(const storage::KVStore* base,
+                                             uint32_t batch_size)
+    : base_(base), batch_size_(batch_size), nodes_(batch_size) {
+  order_.reserve(batch_size);
+}
+
+Value ConcurrencyController::RootValue(const Key& key) const {
+  return base_->GetOrDefault(key, 0);
+}
+
+// --- Graph helpers ---------------------------------------------------------
+
+bool ConcurrencyController::HasPath(TxnSlot from, TxnSlot to) const {
+  if (from == to) return true;
+  // Iterative DFS; batches are small (<= a few hundred nodes).
+  std::vector<bool> visited(batch_size_, false);
+  std::vector<TxnSlot> stack{from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    TxnSlot cur = stack.back();
+    stack.pop_back();
+    for (TxnSlot next : nodes_[cur].out) {
+      if (next == to) return true;
+      if (!visited[next]) {
+        visited[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void ConcurrencyController::AddEdge(TxnSlot from, TxnSlot to) {
+  assert(from != to);
+  nodes_[from].out.insert(to);
+  nodes_[to].in.insert(from);
+}
+
+void ConcurrencyController::RemoveNodeEdges(TxnSlot slot) {
+  Node& node = nodes_[slot];
+  for (TxnSlot to : node.out) nodes_[to].in.erase(slot);
+  for (TxnSlot from : node.in) nodes_[from].out.erase(slot);
+  node.out.clear();
+  node.in.clear();
+}
+
+bool ConcurrencyController::HasEdge(TxnSlot from, TxnSlot to) const {
+  return nodes_[from].out.count(to) > 0;
+}
+
+bool ConcurrencyController::GraphIsAcyclic() const {
+  // Kahn's algorithm over live nodes.
+  std::vector<uint32_t> indegree(batch_size_, 0);
+  uint32_t live = 0;
+  for (TxnSlot s = 0; s < batch_size_; ++s) {
+    if (nodes_[s].state == SlotState::kIdle && nodes_[s].records.empty()) {
+      continue;
+    }
+    ++live;
+    indegree[s] = static_cast<uint32_t>(nodes_[s].in.size());
+  }
+  std::deque<TxnSlot> ready;
+  for (TxnSlot s = 0; s < batch_size_; ++s) {
+    if ((nodes_[s].state != SlotState::kIdle || !nodes_[s].records.empty()) &&
+        indegree[s] == 0) {
+      ready.push_back(s);
+    }
+  }
+  uint32_t seen = 0;
+  while (!ready.empty()) {
+    TxnSlot s = ready.front();
+    ready.pop_front();
+    ++seen;
+    for (TxnSlot t : nodes_[s].out) {
+      if (--indegree[t] == 0) ready.push_back(t);
+    }
+  }
+  return seen == live;
+}
+
+// --- Executor-facing interface ----------------------------------------------
+
+uint32_t ConcurrencyController::Begin(TxnSlot slot) {
+  Node& node = nodes_[slot];
+  assert(node.state == SlotState::kIdle);
+  node.state = SlotState::kRunning;
+  return node.incarnation;
+}
+
+Result<Value> ConcurrencyController::Read(TxnSlot slot, uint32_t incarnation,
+                                          const Key& key) {
+  Node& node = nodes_[slot];
+  if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
+    return Status::Aborted("stale incarnation");
+  }
+
+  // Section 8.3: if the node already holds a record for the key, the result
+  // is retrieved directly (read-your-writes, then repeat-your-reads).
+  auto it = node.records.find(key);
+  if (it != node.records.end()) {
+    const KeyRecord& rec = it->second;
+    if (rec.has_write) return rec.last_write;
+    if (rec.has_read) return rec.first_read;
+  }
+
+  std::optional<TxnSlot> source = PlanRead(slot, key);
+  if (!source.has_value()) {
+    // Section 8.4: no consistent source exists. Abort the acting
+    // transaction (and anything that consumed its writes).
+    AbortTxn(slot);
+    return Status::Aborted("read conflict on key " + key);
+  }
+
+  Value value;
+  if (*source == kRootSlot) {
+    value = RootValue(key);
+  } else {
+    const KeyRecord& src_rec = nodes_[*source].records.at(key);
+    assert(src_rec.has_write);
+    value = src_rec.last_write;
+  }
+
+  KeyRecord& rec = node.records[key];
+  if (!rec.has_read && !rec.has_write) {
+    key_index_[key].readers.push_back(slot);
+  }
+  rec.has_read = true;
+  rec.first_read = value;
+  rec.read_from = *source;
+  return value;
+}
+
+std::optional<TxnSlot> ConcurrencyController::PlanRead(TxnSlot slot,
+                                                       const Key& key) {
+  KeyIndex& index = key_index_[key];
+
+  // Candidate sources: writers from most- to least-recent, then the root.
+  std::vector<TxnSlot> candidates;
+  for (auto it = index.writers.rbegin(); it != index.writers.rend(); ++it) {
+    if (*it != slot) candidates.push_back(*it);
+  }
+  candidates.push_back(kRootSlot);
+
+  // Ordering constraints must be *stable*: a transitive path through an
+  // uncommitted third party disappears if that node aborts, silently
+  // dropping the constraint. Therefore every required ordering between two
+  // live transactions is materialized as a direct edge; orderings
+  // involving committed transactions are immutable facts of the
+  // serialization prefix and need no edge.
+  for (TxnSlot source : candidates) {
+    if (source != kRootSlot && HasPath(slot, source)) {
+      // The source would have to precede the reader but is already ordered
+      // after it; try an older writer (Figure 10a fallback).
+      continue;
+    }
+
+    std::vector<std::pair<TxnSlot, TxnSlot>> applied;
+    auto rollback = [&]() {
+      for (auto& [a, b] : applied) {
+        nodes_[a].out.erase(b);
+        nodes_[b].in.erase(a);
+      }
+    };
+    // Ensures a-before-b durably. Returns false when impossible.
+    auto ensure_order = [&](TxnSlot a, TxnSlot b) {
+      if (a == b) return true;
+      const bool a_committed = nodes_[a].state == SlotState::kCommitted;
+      const bool b_committed = nodes_[b].state == SlotState::kCommitted;
+      if (a_committed && b_committed) {
+        return nodes_[a].order < nodes_[b].order;
+      }
+      if (a_committed) return true;   // Commits strictly precede live txns.
+      if (b_committed) return false;  // A live txn cannot precede a commit.
+      if (nodes_[a].out.count(b)) return true;  // Direct edge exists.
+      if (HasPath(b, a)) return false;          // Would create a cycle.
+      AddEdge(a, b);
+      applied.emplace_back(a, b);
+      return true;
+    };
+
+    bool feasible = true;
+    for (TxnSlot v : index.writers) {
+      if (v == slot || v == source) continue;
+      // Every other writer must be ordered before the source (paper
+      // section 8.2, "make all other write nodes contain a path to u") or
+      // after the reader.
+      if (source != kRootSlot && ensure_order(v, source)) continue;
+      if (ensure_order(slot, v)) continue;
+      feasible = false;
+      break;
+    }
+    if (feasible && source != kRootSlot) {
+      feasible = ensure_order(source, slot);
+    }
+    if (!feasible) {
+      rollback();
+      continue;
+    }
+    return source;
+  }
+  return std::nullopt;
+}
+
+Status ConcurrencyController::Write(TxnSlot slot, uint32_t incarnation,
+                                    const Key& key, Value value) {
+  Node& node = nodes_[slot];
+  if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
+    return Status::Aborted("stale incarnation");
+  }
+
+  KeyIndex& index = key_index_[key];
+  auto it = node.records.find(key);
+  const bool had_write = (it != node.records.end()) && it->second.has_write;
+
+  // An abort of another transaction can cascade back to the acting one
+  // (the victim may be upstream of a value this transaction consumed on a
+  // different key). Every abort below is followed by this liveness check.
+  auto self_alive = [&]() {
+    return nodes_[slot].incarnation == incarnation &&
+           nodes_[slot].state == SlotState::kRunning;
+  };
+
+  if (had_write) {
+    // Re-write of a key whose previous value may already have been consumed
+    // downstream (Figure 10b / Table 1 time 5): cascade-abort every reader
+    // of this transaction's value on the key; the writer itself survives
+    // unless it transitively consumed a victim's value.
+    std::set<TxnSlot> victims;
+    for (TxnSlot r : index.readers) {
+      if (r == slot) continue;
+      const Node& rn = nodes_[r];
+      auto rit = rn.records.find(key);
+      if (rit != rn.records.end() && rit->second.has_read &&
+          rit->second.read_from == slot) {
+        victims.insert(r);
+        CollectValueDependents(r, victims);
+      }
+    }
+    victims.erase(slot);
+    ResetSlots(victims);
+    if (!self_alive()) return Status::Aborted("aborted during rewrite");
+    auto self = node.records.find(key);
+    self->second.last_write = value;
+    // Refresh recency: move this writer to the back of the writer list.
+    EraseFromVector(index.writers, slot);
+    index.writers.push_back(slot);
+    return Status::OK();
+  }
+
+  // First write to the key by this transaction. (A prior read by the same
+  // transaction already ordered it after its source — nothing extra to do.)
+  //
+  // Section 8.2 (Figure 9a): order existing readers of the key before the
+  // new writer so their reads stay valid. A reader already ordered *after*
+  // us observed a value that our write now invalidates -> abort it. The
+  // scan runs before the write registers so a cascading self-abort leaves
+  // no half-registered state.
+  std::vector<TxnSlot> snapshot(index.readers);
+  for (TxnSlot r : snapshot) {
+    if (r == slot) continue;
+    Node& rn = nodes_[r];
+    if (rn.state == SlotState::kIdle) continue;      // Stale entry.
+    if (rn.state == SlotState::kCommitted) continue;  // Already before us.
+    auto rit = rn.records.find(key);
+    if (rit == rn.records.end() || !rit->second.has_read) continue;
+    if (rit->second.read_from == slot) continue;  // Reads our own value.
+    if (HasPath(slot, r)) {
+      // Reader is ordered after us but read an older value: its read is no
+      // longer the latest-preceding write. Abort the reader (cascading from
+      // the acting writer, section 8.4 case 2).
+      AbortTxn(r);
+      if (!self_alive()) return Status::Aborted("aborted during write");
+      continue;
+    }
+    // Durable reader-before-writer constraint: always a direct edge (a
+    // transitive path could vanish if an intermediate transaction aborts).
+    AddEdge(r, slot);
+  }
+
+  KeyRecord& rec = node.records[key];
+  rec.has_write = true;
+  rec.last_write = value;
+  index.writers.push_back(slot);
+  return Status::OK();
+}
+
+void ConcurrencyController::Emit(TxnSlot slot, uint32_t incarnation,
+                                 Value value) {
+  Node& node = nodes_[slot];
+  if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
+    return;
+  }
+  node.emitted.push_back(value);
+}
+
+Status ConcurrencyController::Finish(TxnSlot slot, uint32_t incarnation) {
+  Node& node = nodes_[slot];
+  if (node.incarnation != incarnation ||
+      (node.state != SlotState::kRunning)) {
+    return Status::Aborted("stale incarnation");
+  }
+  node.state = SlotState::kFinished;
+  TryCommit(slot);
+  return Status::OK();
+}
+
+// --- Abort machinery ---------------------------------------------------------
+
+void ConcurrencyController::CollectValueDependents(
+    TxnSlot slot, std::set<TxnSlot>& out) const {
+  // Every live node that read any value produced by `slot`, transitively.
+  std::vector<TxnSlot> frontier{slot};
+  while (!frontier.empty()) {
+    TxnSlot cur = frontier.back();
+    frontier.pop_back();
+    for (TxnSlot succ : nodes_[cur].out) {
+      if (out.count(succ)) continue;
+      const Node& sn = nodes_[succ];
+      bool reads_from_cur = false;
+      for (const auto& [key, rec] : sn.records) {
+        if (rec.has_read && rec.read_from == cur) {
+          reads_from_cur = true;
+          break;
+        }
+      }
+      if (reads_from_cur) {
+        out.insert(succ);
+        frontier.push_back(succ);
+      }
+    }
+  }
+}
+
+void ConcurrencyController::AbortTxn(TxnSlot slot) {
+  std::set<TxnSlot> victims{slot};
+  CollectValueDependents(slot, victims);
+  ResetSlots(victims);
+}
+
+void ConcurrencyController::ResetSlots(const std::set<TxnSlot>& victims) {
+  // Transactions that were blocked on a victim's edges may become
+  // committable once those edges disappear; collect them before resetting.
+  std::set<TxnSlot> wake;
+  for (TxnSlot v : victims) {
+    for (TxnSlot succ : nodes_[v].out) wake.insert(succ);
+  }
+  for (TxnSlot v : victims) {
+    if (nodes_[v].state == SlotState::kRunning ||
+        nodes_[v].state == SlotState::kFinished) {
+      ++total_aborts_;
+      ResetSlot(v);
+    }
+  }
+  for (TxnSlot w : wake) {
+    if (victims.count(w)) continue;
+    if (nodes_[w].state == SlotState::kFinished) TryCommit(w);
+  }
+}
+
+void ConcurrencyController::ResetSlot(TxnSlot slot) {
+  Node& node = nodes_[slot];
+  assert(node.state != SlotState::kCommitted);
+  RemoveNodeEdges(slot);
+  for (const auto& [key, rec] : node.records) {
+    auto it = key_index_.find(key);
+    if (it != key_index_.end()) {
+      EraseFromVector(it->second.writers, slot);
+      EraseFromVector(it->second.readers, slot);
+    }
+  }
+  node.records.clear();
+  node.emitted.clear();
+  node.state = SlotState::kIdle;
+  ++node.incarnation;
+  ++node.re_executions;
+  if (on_abort_) on_abort_(slot);
+}
+
+// --- Commit machinery --------------------------------------------------------
+
+void ConcurrencyController::TryCommit(TxnSlot slot) {
+  std::deque<TxnSlot> worklist{slot};
+  while (!worklist.empty()) {
+    TxnSlot cur = worklist.front();
+    worklist.pop_front();
+    Node& node = nodes_[cur];
+    if (node.state != SlotState::kFinished) continue;
+
+    bool deps_committed = true;
+    for (TxnSlot dep : node.in) {
+      if (nodes_[dep].state != SlotState::kCommitted) {
+        deps_committed = false;
+        break;
+      }
+    }
+    if (!deps_committed) continue;
+
+    // Fix residual write-write order against already-committed writers
+    // (section 7.1: "a dependency is established based on the commit times
+    // of these transactions").
+    for (const auto& [key, rec] : node.records) {
+      if (!rec.has_write) continue;
+      auto it = key_index_.find(key);
+      if (it == key_index_.end()) continue;
+      for (TxnSlot other : it->second.writers) {
+        if (other == cur) continue;
+        if (nodes_[other].state != SlotState::kCommitted) continue;
+        if (HasPath(other, cur) || HasPath(cur, other)) continue;
+        AddEdge(other, cur);
+      }
+    }
+
+    node.state = SlotState::kCommitted;
+    node.order = static_cast<int>(order_.size());
+    order_.push_back(cur);
+    ++committed_count_;
+
+    for (TxnSlot succ : node.out) {
+      if (nodes_[succ].state == SlotState::kFinished) {
+        worklist.push_back(succ);
+      }
+    }
+  }
+}
+
+// --- Batch results -------------------------------------------------------------
+
+TxnRecord ConcurrencyController::ExtractRecord(TxnSlot slot) const {
+  const Node& node = nodes_[slot];
+  TxnRecord out;
+  out.re_executions = node.re_executions;
+  out.order = node.order;
+  out.emitted = node.emitted;
+  for (const auto& [key, rec] : node.records) {
+    if (rec.has_read) {
+      out.rw_set.reads.push_back(
+          txn::Operation{txn::OpType::kRead, key, rec.first_read});
+    }
+    if (rec.has_write) {
+      out.rw_set.writes.push_back(
+          txn::Operation{txn::OpType::kWrite, key, rec.last_write});
+    }
+  }
+  return out;
+}
+
+storage::WriteBatch ConcurrencyController::FinalWrites() const {
+  std::unordered_map<Key, Value> finals;
+  for (TxnSlot slot : order_) {
+    const Node& node = nodes_[slot];
+    for (const auto& [key, rec] : node.records) {
+      if (rec.has_write) finals[key] = rec.last_write;
+    }
+  }
+  storage::WriteBatch batch;
+  // Deterministic application order.
+  std::vector<const std::pair<const Key, Value>*> entries;
+  entries.reserve(finals.size());
+  for (const auto& kv : finals) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : entries) batch.Put(kv->first, kv->second);
+  return batch;
+}
+
+}  // namespace thunderbolt::ce

@@ -1,0 +1,97 @@
+// Simulated executor pool.
+//
+// Drives a batch of transactions through any BatchEngine with E virtual
+// executors on a virtual clock (DESIGN.md section 2.1): the *decisions* —
+// dependency edges, lock conflicts, validation failures, aborts — are made
+// by the real engine algorithms; only the passage of time is simulated.
+// This reproduces the paper's executor-count sweeps (Figures 11/12) on a
+// single physical core.
+//
+// Interleaving model. Contracts are ordinary C++ functions that call
+// ContractContext synchronously, so they cannot be suspended mid-body.
+// The pool instead advances a transaction one *operation* at a time by
+// deterministic re-execution: each step re-runs the contract from the top
+// with a context that replays the previously observed operation results
+// from a log and performs exactly one new engine operation before pausing.
+// Because contracts are deterministic given their read values, the replay
+// is exact; engine state is only touched by the single new operation, at
+// the correct virtual time. SmallBank transactions have ~4 operations, so
+// the quadratic replay cost is negligible.
+//
+// Timing model per operation:
+//   start   = max(executor_free, engine_serial_free)
+//   engine_serial_free = start + costs.engine_serial_cost   (shared latch /
+//                        lock-manager / central-verifier critical section)
+//   executor_free      = start + costs.engine_serial_cost + costs.op_cost
+// Restarted transactions pay costs.restart_cost before re-running.
+#ifndef THUNDERBOLT_CE_SIM_EXECUTOR_POOL_H_
+#define THUNDERBOLT_CE_SIM_EXECUTOR_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ce/batch_engine.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "contract/contract.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::ce {
+
+/// Virtual-time costs of the execution pipeline. Defaults are calibrated so
+/// a single executor sustains roughly the per-core SmallBank rate of the
+/// paper's testbed; see bench/README notes in EXPERIMENTS.md.
+struct ExecutionCostModel {
+  /// Contract logic + storage access per operation (executor-local).
+  SimTime op_cost = Micros(18);
+  /// Serialized engine critical section per operation (CC latch, lock
+  /// manager, or OCC verifier — the shared resource that caps scaling).
+  SimTime engine_serial_cost = Micros(2);
+  /// Charged to an executor when it begins (or restarts) a transaction.
+  SimTime start_cost = Micros(4);
+  /// Base penalty before re-running an aborted transaction. Consecutive
+  /// restarts of the same transaction back off exponentially with a
+  /// per-slot deterministic jitter, breaking the symmetric abort ping-pong
+  /// two crossing read-modify-writes would otherwise fall into.
+  SimTime restart_cost = Micros(10);
+  /// Cap exponent for the restart backoff (max factor 2^cap).
+  uint32_t restart_backoff_cap = 6;
+};
+
+/// Outcome of executing one batch.
+struct BatchExecutionResult {
+  std::vector<TxnRecord> records;      // Indexed by slot.
+  std::vector<TxnSlot> order;          // Serialization order.
+  storage::WriteBatch final_writes;    // To apply to storage.
+  uint64_t total_aborts = 0;           // Re-executions across the batch.
+  SimTime start_time = 0;
+  SimTime duration = 0;                // Virtual makespan of the batch.
+  Histogram commit_latency_us;         // Per-txn commit latency (virtual).
+};
+
+class SimExecutorPool {
+ public:
+  SimExecutorPool(uint32_t num_executors, ExecutionCostModel costs)
+      : num_executors_(num_executors), costs_(costs) {}
+
+  /// Executes `batch` through `engine` using the contracts in `registry`.
+  /// `start_time` seeds the virtual clock (used when the pool runs inside
+  /// the cluster simulation). Returns Internal on livelock (a transaction
+  /// restarted more than kMaxRestartsPerTxn times the batch size).
+  Result<BatchExecutionResult> Run(BatchEngine& engine,
+                                   const contract::Registry& registry,
+                                   const std::vector<txn::Transaction>& batch,
+                                   SimTime start_time = 0);
+
+  uint32_t num_executors() const { return num_executors_; }
+  const ExecutionCostModel& costs() const { return costs_; }
+
+ private:
+  uint32_t num_executors_;
+  ExecutionCostModel costs_;
+};
+
+}  // namespace thunderbolt::ce
+
+#endif  // THUNDERBOLT_CE_SIM_EXECUTOR_POOL_H_

@@ -1,0 +1,50 @@
+// Streaming statistics for benchmark reporting (mean / percentiles).
+#ifndef THUNDERBOLT_COMMON_HISTOGRAM_H_
+#define THUNDERBOLT_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace thunderbolt {
+
+/// Collects double-valued samples and reports summary statistics. Keeps all
+/// samples (bench populations are modest); percentile queries sort lazily.
+class Histogram {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+    sum_ += v;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = true;
+  }
+
+  size_t Count() const { return samples_.size(); }
+  double Sum() const { return sum_; }
+  double Mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(Count());
+  }
+
+  double Min() const;
+  double Max() const;
+
+  /// p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace thunderbolt
+
+#endif  // THUNDERBOLT_COMMON_HISTOGRAM_H_

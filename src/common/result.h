@@ -1,0 +1,87 @@
+// Result<T>: a value-or-Status holder, in the style of arrow::Result.
+#ifndef THUNDERBOLT_COMMON_RESULT_H_
+#define THUNDERBOLT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace thunderbolt {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Constructing a Result from an OK status is a programming
+/// error (asserted in debug builds, converted to Internal otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when a value is present, otherwise the stored error.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alternative` when this Result holds an error.
+  T value_or(T alternative) const {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs` or propagates the
+/// error: `THUNDERBOLT_ASSIGN_OR_RETURN(auto v, ComputeV());`
+#define THUNDERBOLT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                      \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).value();
+
+#define THUNDERBOLT_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  THUNDERBOLT_ASSIGN_OR_RETURN_IMPL(                                      \
+      THUNDERBOLT_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define THUNDERBOLT_CONCAT_INNER_(a, b) a##b
+#define THUNDERBOLT_CONCAT_(a, b) THUNDERBOLT_CONCAT_INNER_(a, b)
+
+}  // namespace thunderbolt
+
+#endif  // THUNDERBOLT_COMMON_RESULT_H_

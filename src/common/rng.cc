@@ -1,0 +1,14 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace thunderbolt {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+}  // namespace thunderbolt

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded by
+// SplitMix64). All randomness in Thunderbolt flows through Rng so that
+// simulations and tests are reproducible from a single seed.
+#ifndef THUNDERBOLT_COMMON_RNG_H_
+#define THUNDERBOLT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace thunderbolt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; simple modulo
+    // bias is negligible for the bounds used here.
+    return Next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given mean (for latency sampling).
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace thunderbolt
+
+#endif  // THUNDERBOLT_COMMON_RNG_H_

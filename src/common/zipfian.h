@@ -1,0 +1,38 @@
+// Zipfian-distributed key selection, used to generate skewed (contended)
+// SmallBank workloads exactly as in the paper's evaluation (theta = 0.85).
+// Implementation follows Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases" (the same formulation used by YCSB).
+#ifndef THUNDERBOLT_COMMON_ZIPFIAN_H_
+#define THUNDERBOLT_COMMON_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace thunderbolt {
+
+class ZipfianGenerator {
+ public:
+  /// Generates values in [0, n). `theta` in [0, 1): 0 is uniform; larger
+  /// values are more skewed. theta must be != 1.
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Draws the next value using the supplied RNG.
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace thunderbolt
+
+#endif  // THUNDERBOLT_COMMON_ZIPFIAN_H_

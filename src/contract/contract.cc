@@ -1,0 +1,33 @@
+#include "contract/contract.h"
+
+#include "contract/smallbank.h"
+#include "contract/tbvm.h"
+
+namespace thunderbolt::contract {
+
+void Registry::Register(std::string name, std::unique_ptr<Contract> contract) {
+  contracts_[std::move(name)] = std::move(contract);
+}
+
+const Contract* Registry::Lookup(const std::string& name) const {
+  auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+Status Registry::Execute(const txn::Transaction& tx,
+                         ContractContext& ctx) const {
+  const Contract* c = Lookup(tx.contract);
+  if (c == nullptr) {
+    return Status::NotFound("unknown contract: " + tx.contract);
+  }
+  return c->Execute(tx, ctx);
+}
+
+std::shared_ptr<Registry> Registry::CreateDefault() {
+  auto registry = std::make_shared<Registry>();
+  RegisterSmallBank(*registry);
+  RegisterTbvmSmallBank(*registry);
+  return registry;
+}
+
+}  // namespace thunderbolt::contract

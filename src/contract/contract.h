@@ -1,0 +1,80 @@
+// Smart-contract runtime interfaces.
+//
+// Contracts interact with state exclusively through a ContractContext that
+// serves <Read, K> and <Write, K, V> operations (paper section 3.1). The
+// same contract code runs unchanged under every execution engine in this
+// repository — the CE's concurrency controller, the OCC and 2PL baselines,
+// serial post-consensus execution, and validation re-execution — each of
+// which supplies its own ContractContext implementation. This is precisely
+// why read/write sets cannot be known before execution: contract control
+// flow may branch on values read at runtime.
+#ifndef THUNDERBOLT_CONTRACT_CONTRACT_H_
+#define THUNDERBOLT_CONTRACT_CONTRACT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::contract {
+
+using storage::Key;
+using storage::Value;
+
+/// The interface contract code uses to access state. Read/Write may fail
+/// with Status::Aborted when the underlying concurrency control decides the
+/// transaction must restart; contract code must propagate that status.
+class ContractContext {
+ public:
+  virtual ~ContractContext() = default;
+
+  /// Reads the current value of `key` (0 for absent keys, matching fresh
+  /// SmallBank accounts).
+  virtual Result<Value> Read(const Key& key) = 0;
+
+  /// Writes `value` to `key`.
+  virtual Status Write(const Key& key, Value value) = 0;
+
+  /// Records a return value for the client (e.g. GetBalance's result).
+  virtual void EmitResult(Value value) { (void)value; }
+};
+
+/// A deterministic, idempotent contract function.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  /// Executes the function for `tx` against `ctx`. Must be deterministic
+  /// given the sequence of values returned by ctx.Read().
+  virtual Status Execute(const txn::Transaction& tx,
+                         ContractContext& ctx) const = 0;
+};
+
+/// Name -> contract lookup shared by all replicas. Registration happens at
+/// startup; lookup is read-only afterwards.
+class Registry {
+ public:
+  /// Registers `contract` under `name`. Overwrites any existing entry.
+  void Register(std::string name, std::unique_ptr<Contract> contract);
+
+  /// Returns the contract or nullptr.
+  const Contract* Lookup(const std::string& name) const;
+
+  /// Executes the transaction's contract against `ctx`. Returns NotFound
+  /// for unknown contract names.
+  Status Execute(const txn::Transaction& tx, ContractContext& ctx) const;
+
+  /// A registry preloaded with the SmallBank suite and TBVM runner.
+  static std::shared_ptr<Registry> CreateDefault();
+
+ private:
+  std::map<std::string, std::unique_ptr<Contract>> contracts_;
+};
+
+}  // namespace thunderbolt::contract
+
+#endif  // THUNDERBOLT_CONTRACT_CONTRACT_H_

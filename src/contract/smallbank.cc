@@ -1,0 +1,142 @@
+#include "contract/smallbank.h"
+
+#include <memory>
+
+#include "txn/transaction.h"
+
+namespace thunderbolt::contract {
+
+namespace {
+
+using txn::CheckingKey;
+using txn::SavingsKey;
+using txn::Transaction;
+
+Status RequireArgs(const Transaction& tx, size_t accounts, size_t params) {
+  if (tx.accounts.size() < accounts) {
+    return Status::InvalidArgument(tx.contract + ": missing account args");
+  }
+  if (tx.params.size() < params) {
+    return Status::InvalidArgument(tx.contract + ": missing params");
+  }
+  return Status::OK();
+}
+
+/// GetBalance: returns checking + savings. Read-only.
+class GetBalanceContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 0));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value checking,
+                                 ctx.Read(CheckingKey(tx.accounts[0])));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value savings,
+                                 ctx.Read(SavingsKey(tx.accounts[0])));
+    ctx.EmitResult(checking + savings);
+    return Status::OK();
+  }
+};
+
+/// DepositChecking: checking += amount.
+class DepositCheckingContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 1));
+    const Key key = CheckingKey(tx.accounts[0]);
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value checking, ctx.Read(key));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(key, checking + tx.params[0]));
+    ctx.EmitResult(checking + tx.params[0]);
+    return Status::OK();
+  }
+};
+
+/// TransactSavings: savings += amount, but only when the result stays
+/// non-negative (dynamic write set: no write on the failure path).
+class TransactSavingsContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 1));
+    const Key key = SavingsKey(tx.accounts[0]);
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value savings, ctx.Read(key));
+    Value updated = savings + tx.params[0];
+    if (updated < 0) {
+      ctx.EmitResult(0);  // Declined; balance untouched.
+      return Status::OK();
+    }
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(key, updated));
+    ctx.EmitResult(1);
+    return Status::OK();
+  }
+};
+
+/// WriteCheck: debit `amount` from checking; overdrafts incur a $1 penalty.
+class WriteCheckContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 1));
+    const Key checking_key = CheckingKey(tx.accounts[0]);
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value checking, ctx.Read(checking_key));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value savings,
+                                 ctx.Read(SavingsKey(tx.accounts[0])));
+    Value amount = tx.params[0];
+    Value debit = (checking + savings < amount) ? amount + 1 : amount;
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(checking_key, checking - debit));
+    ctx.EmitResult(checking - debit);
+    return Status::OK();
+  }
+};
+
+/// SendPayment: move `amount` from a's checking to b's checking when funds
+/// suffice; otherwise decline without writing (dynamic write set).
+class SendPaymentContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 2, 1));
+    const Key src = CheckingKey(tx.accounts[0]);
+    const Key dst = CheckingKey(tx.accounts[1]);
+    Value amount = tx.params[0];
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value src_balance, ctx.Read(src));
+    if (src_balance < amount) {
+      ctx.EmitResult(0);  // Declined.
+      return Status::OK();
+    }
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value dst_balance, ctx.Read(dst));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(src, src_balance - amount));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(dst, dst_balance + amount));
+    ctx.EmitResult(1);
+    return Status::OK();
+  }
+};
+
+/// Amalgamate: move all of a's funds into b's checking.
+class AmalgamateContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 2, 0));
+    const Key a_checking = CheckingKey(tx.accounts[0]);
+    const Key a_savings = SavingsKey(tx.accounts[0]);
+    const Key b_checking = CheckingKey(tx.accounts[1]);
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value ac, ctx.Read(a_checking));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value as, ctx.Read(a_savings));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value bc, ctx.Read(b_checking));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(a_checking, 0));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(a_savings, 0));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(b_checking, bc + ac + as));
+    ctx.EmitResult(bc + ac + as);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterSmallBank(Registry& registry) {
+  registry.Register(kGetBalance, std::make_unique<GetBalanceContract>());
+  registry.Register(kDepositChecking,
+                    std::make_unique<DepositCheckingContract>());
+  registry.Register(kTransactSavings,
+                    std::make_unique<TransactSavingsContract>());
+  registry.Register(kWriteCheck, std::make_unique<WriteCheckContract>());
+  registry.Register(kSendPayment, std::make_unique<SendPaymentContract>());
+  registry.Register(kAmalgamate, std::make_unique<AmalgamateContract>());
+}
+
+}  // namespace thunderbolt::contract

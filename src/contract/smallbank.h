@@ -1,0 +1,41 @@
+// SmallBank benchmark contracts (H-Store SmallBank suite).
+//
+// All six transaction types are implemented; the paper's evaluation mixes
+// SendPayment (read-modify-write on two accounts) and GetBalance
+// (read-only) under a Zipfian account distribution. Each customer holds a
+// checking and a savings balance (keys "<acct>/checking", "<acct>/savings").
+//
+// Contract names (resolved through contract::Registry):
+//   smallbank.get_balance       accounts: [a]         params: []
+//   smallbank.deposit_checking  accounts: [a]         params: [amount]
+//   smallbank.transact_savings  accounts: [a]         params: [amount]
+//   smallbank.write_check       accounts: [a]         params: [amount]
+//   smallbank.send_payment      accounts: [a, b]      params: [amount]
+//   smallbank.amalgamate        accounts: [a, b]      params: []
+//
+// Access patterns are *dynamic*: WriteCheck's writes depend on the balances
+// it reads, and SendPayment only debits when funds suffice — so read/write
+// sets genuinely cannot be predeclared.
+#ifndef THUNDERBOLT_CONTRACT_SMALLBANK_H_
+#define THUNDERBOLT_CONTRACT_SMALLBANK_H_
+
+#include <string>
+
+#include "contract/contract.h"
+
+namespace thunderbolt::contract {
+
+/// Registers all six SmallBank contracts into `registry`.
+void RegisterSmallBank(Registry& registry);
+
+/// Canonical contract names.
+inline constexpr char kGetBalance[] = "smallbank.get_balance";
+inline constexpr char kDepositChecking[] = "smallbank.deposit_checking";
+inline constexpr char kTransactSavings[] = "smallbank.transact_savings";
+inline constexpr char kWriteCheck[] = "smallbank.write_check";
+inline constexpr char kSendPayment[] = "smallbank.send_payment";
+inline constexpr char kAmalgamate[] = "smallbank.amalgamate";
+
+}  // namespace thunderbolt::contract
+
+#endif  // THUNDERBOLT_CONTRACT_SMALLBANK_H_

@@ -1,0 +1,94 @@
+#include "core/cluster.h"
+
+#include <cassert>
+
+namespace thunderbolt::core {
+
+Cluster::Cluster(ThunderboltConfig config,
+                 workload::SmallBankConfig workload_config)
+    : config_(config) {
+  workload_config.num_shards = config_.n;
+  simulator_ = std::make_unique<sim::Simulator>();
+  network_ = std::make_unique<net::SimNetwork>(simulator_.get(), config_.n,
+                                               config_.latency, config_.seed);
+  keys_ = crypto::KeyDirectory::Create(config_.n, config_.seed);
+  registry_ = contract::Registry::CreateDefault();
+  workload_ =
+      std::make_unique<workload::SmallBankWorkload>(workload_config);
+  shared_ = std::make_unique<SharedClusterState>();
+  workload_->InitStore(&shared_->canonical);
+  metrics_ = std::make_unique<ClusterMetrics>();
+
+  nodes_.reserve(config_.n);
+  for (ReplicaId id = 0; id < config_.n; ++id) {
+    nodes_.push_back(std::make_unique<ThunderboltNode>(
+        config_, id, simulator_.get(), network_.get(), &keys_, registry_,
+        workload_.get(), shared_.get(), metrics_.get(),
+        /*is_observer=*/id == 0));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::CrashReplicaAt(ReplicaId id, SimTime when) {
+  assert(id != 0 && "the observer replica must stay alive");
+  assert(!started_ && "CrashReplicaAt must be scheduled before Run");
+  simulator_->ScheduleAt(when, [this, id]() {
+    network_->Crash(id);
+    nodes_[id]->Stop();
+  });
+}
+
+ClusterResult Cluster::Run(SimTime duration) {
+  // Snapshot counters so repeated Run calls report window deltas.
+  const uint64_t invalid0 = metrics_->invalid_blocks;
+  const uint64_t skip0 = metrics_->skip_blocks;
+  const uint64_t shift0 = metrics_->shift_blocks;
+  const uint64_t conv0 = metrics_->conversions;
+  const uint64_t reconf0 = metrics_->reconfigurations;
+  const uint64_t aborts0 = metrics_->preplay_aborts;
+
+  if (!started_) {
+    started_ = true;
+    for (auto& node : nodes_) node->Start();
+  }
+  SimTime start = simulator_->Now();
+  SimTime end = start + duration;
+  simulator_->RunUntil(end);
+
+  ClusterResult result;
+  result.duration = duration;
+  result.invalid_blocks = metrics_->invalid_blocks - invalid0;
+  result.skip_blocks = metrics_->skip_blocks - skip0;
+  result.shift_blocks = metrics_->shift_blocks - shift0;
+  result.conversions = metrics_->conversions - conv0;
+  result.reconfigurations = metrics_->reconfigurations - reconf0;
+  result.preplay_aborts = metrics_->preplay_aborts - aborts0;
+  result.commit_times = metrics_->commit_times;
+
+  // A transaction counts toward this window only once its pipeline
+  // completion time lies within it: consensus alone does not "commit" work
+  // the executor has not caught up with (ClusterMetrics::CommitSample).
+  Histogram window;
+  for (; sample_cursor_ < metrics_->samples.size(); ++sample_cursor_) {
+    const ClusterMetrics::CommitSample& s =
+        metrics_->samples[sample_cursor_];
+    if (s.completion > end) break;
+    if (s.cross) {
+      ++result.committed_cross;
+    } else {
+      ++result.committed_single;
+    }
+    window.Add(static_cast<double>(s.completion - s.submit));
+  }
+
+  uint64_t committed = result.committed_single + result.committed_cross;
+  result.throughput_tps =
+      static_cast<double>(committed) / ToSeconds(duration);
+  result.avg_latency_s = window.Mean() / 1e6;
+  result.p50_latency_s = window.Median() / 1e6;
+  result.p99_latency_s = window.Percentile(99) / 1e6;
+  return result;
+}
+
+}  // namespace thunderbolt::core

@@ -1,0 +1,84 @@
+// Cluster harness: builds and runs a simulated Thunderbolt deployment of n
+// replicas on one discrete-event simulator. This is the top-level entry
+// point used by the system benchmarks (Figures 13-17), the integration
+// tests, and the examples.
+#ifndef THUNDERBOLT_CORE_CLUSTER_H_
+#define THUNDERBOLT_CORE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/simulator.h"
+#include "core/config.h"
+#include "core/node.h"
+#include "workload/smallbank_workload.h"
+
+namespace thunderbolt::core {
+
+/// Summary of a cluster run.
+struct ClusterResult {
+  uint64_t committed_single = 0;
+  uint64_t committed_cross = 0;
+  uint64_t invalid_blocks = 0;
+  uint64_t skip_blocks = 0;
+  uint64_t shift_blocks = 0;
+  uint64_t conversions = 0;
+  uint64_t reconfigurations = 0;
+  uint64_t preplay_aborts = 0;
+  SimTime duration = 0;
+  double throughput_tps = 0;     // Committed transactions per virtual second.
+  double avg_latency_s = 0;      // Mean commit latency in virtual seconds.
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  /// (commit index, completion time) pairs from the observer (Figure 16).
+  std::vector<std::pair<Round, SimTime>> commit_times;
+};
+
+class Cluster {
+ public:
+  /// `workload_config.num_shards` is forced to `config.n` (one shard per
+  /// replica, paper section 3.1).
+  Cluster(ThunderboltConfig config,
+          workload::SmallBankConfig workload_config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Crashes a replica at virtual time `when` (relative to run start).
+  /// Must be called before Run. The observer (replica 0) must stay alive.
+  void CrashReplicaAt(ReplicaId id, SimTime when);
+
+  /// Runs the cluster for `duration` of virtual time and returns metrics.
+  /// May be called repeatedly; each call continues the same deployment and
+  /// reports the delta window.
+  ClusterResult Run(SimTime duration);
+
+  // --- Introspection ---------------------------------------------------------
+  const ThunderboltNode& node(ReplicaId id) const { return *nodes_[id]; }
+  sim::Simulator& simulator() { return *simulator_; }
+  net::SimNetwork& network() { return *network_; }
+  const storage::MemKVStore& canonical_state() const {
+    return shared_->canonical;
+  }
+  const ClusterMetrics& metrics() const { return *metrics_; }
+  workload::SmallBankWorkload& workload() { return *workload_; }
+
+ private:
+  ThunderboltConfig config_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::SimNetwork> network_;
+  crypto::KeyDirectory keys_;
+  std::shared_ptr<const contract::Registry> registry_;
+  std::unique_ptr<workload::SmallBankWorkload> workload_;
+  std::unique_ptr<SharedClusterState> shared_;
+  std::unique_ptr<ClusterMetrics> metrics_;
+  std::vector<std::unique_ptr<ThunderboltNode>> nodes_;
+  bool started_ = false;
+  /// Cursor into metrics_->samples for window accounting across Run calls.
+  size_t sample_cursor_ = 0;
+};
+
+}  // namespace thunderbolt::core
+
+#endif  // THUNDERBOLT_CORE_CLUSTER_H_

@@ -1,0 +1,70 @@
+// Cluster-wide configuration for Thunderbolt nodes.
+#ifndef THUNDERBOLT_CORE_CONFIG_H_
+#define THUNDERBOLT_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "ce/sim_executor_pool.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace thunderbolt::core {
+
+/// Which execution pipeline the cluster runs (paper section 12).
+enum class ExecutionMode {
+  /// CE preplay (EOV) + parallel verification + OE cross-shard path.
+  kThunderbolt,
+  /// OCC preplay + parallel verification (the Thunderbolt-OCC baseline).
+  kThunderboltOcc,
+  /// Plain Tusk: blocks carry raw transactions, executed serially in
+  /// commit order after consensus (OE with sequential execution).
+  kTusk,
+};
+
+struct ThunderboltConfig {
+  uint32_t n = 4;                      // Replicas (= shards).
+  ExecutionMode mode = ExecutionMode::kThunderbolt;
+
+  // --- Shard proposer / execution ------------------------------------------
+  uint32_t batch_size = 500;           // Transactions preplayed per block.
+  uint32_t num_executors = 16;         // CE pool width.
+  uint32_t num_validators = 16;        // Parallel validation width.
+  ce::ExecutionCostModel exec_costs;   // Per-operation virtual costs.
+  /// Validation replays declared operations without scheduling overhead;
+  /// per-op virtual cost (cheaper than first execution).
+  SimTime validation_op_cost = Micros(5);
+
+  // --- Consensus cadence ----------------------------------------------------
+  /// Fixed per-proposal CPU cost (batch serialization, signing, block
+  /// bookkeeping) charged before broadcasting each block. Together with the
+  /// network's bandwidth/processing model this sets the round cadence; the
+  /// default approximates the ~0.07 s/round the paper reports (Figure 16).
+  SimTime proposal_prep_cost = Millis(25);
+  /// A shard proposer waiting for the round leader's proposal (rule P3)
+  /// converts its single-shard transactions to cross-shard after this
+  /// timeout (rule P6).
+  SimTime leader_timeout = Millis(400);
+  /// Conflict handling for single-shard transactions whose accounts
+  /// overlap pending cross-shard transactions:
+  ///   false (default): convert immediately to cross-shard (rule P4).
+  ///   true: defer them and emit Skip blocks until the conflicting
+  ///         cross-shard transactions finalize, converting only after
+  ///         leader_timeout (the section 5.4 preplay-recovery variant).
+  bool use_skip_blocks = false;
+
+  // --- Reconfiguration (section 6) ------------------------------------------
+  /// Broadcast a Shift block when some proposer has been silent for K
+  /// rounds...
+  Round silence_rounds_k = 8;
+  /// ...or unconditionally every K' rounds (K' > K). 0 disables periodic
+  /// rotation (the system-evaluation default outside Figure 15/16).
+  Round reconfig_period_k_prime = 0;
+
+  // --- Network ---------------------------------------------------------------
+  net::LatencyModel latency = net::LatencyModel::Lan();
+  uint64_t seed = 7;
+};
+
+}  // namespace thunderbolt::core
+
+#endif  // THUNDERBOLT_CORE_CONFIG_H_

@@ -1,0 +1,595 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "baselines/occ_engine.h"
+#include "baselines/serial_executor.h"
+#include "ce/concurrency_controller.h"
+
+namespace thunderbolt::core {
+
+namespace {
+
+/// Read view for preplay: the proposer's speculative overlay (its own
+/// in-flight writes) on top of the canonical committed store.
+class OverlayStore final : public storage::KVStore {
+ public:
+  OverlayStore(const std::unordered_map<storage::Key, storage::Value>* overlay,
+               const storage::MemKVStore* base)
+      : overlay_(overlay), base_(base) {}
+
+  Result<storage::VersionedValue> Get(const storage::Key& key) const override {
+    auto it = overlay_->find(key);
+    if (it != overlay_->end()) {
+      // Overlay values are uncommitted; synthesize a version above the
+      // committed one so OCC-based preplay treats them as fresh.
+      auto base = base_->Get(key);
+      storage::Version v = base.ok() ? base->version + 1 : 1;
+      return storage::VersionedValue{it->second, v};
+    }
+    return base_->Get(key);
+  }
+
+  storage::Value GetOrDefault(const storage::Key& key,
+                              storage::Value default_value) const override {
+    auto it = overlay_->find(key);
+    if (it != overlay_->end()) return it->second;
+    return base_->GetOrDefault(key, default_value);
+  }
+
+  Status Put(const storage::Key&, storage::Value) override {
+    return Status::NotSupported("OverlayStore is read-only");
+  }
+  Status Write(const storage::WriteBatch&) override {
+    return Status::NotSupported("OverlayStore is read-only");
+  }
+  size_t size() const override { return base_->size(); }
+
+ private:
+  const std::unordered_map<storage::Key, storage::Value>* overlay_;
+  const storage::MemKVStore* base_;
+};
+
+const ThunderboltPayload* PayloadOf(const dag::BlockPtr& block) {
+  return dynamic_cast<const ThunderboltPayload*>(block->content.get());
+}
+
+}  // namespace
+
+ThunderboltNode::ThunderboltNode(
+    const ThunderboltConfig& config, ReplicaId id, sim::Simulator* simulator,
+    net::SimNetwork* network, const crypto::KeyDirectory* keys,
+    std::shared_ptr<const contract::Registry> registry,
+    workload::SmallBankWorkload* workload, SharedClusterState* shared,
+    ClusterMetrics* metrics, bool is_observer)
+    : config_(config),
+      id_(id),
+      simulator_(simulator),
+      network_(network),
+      keys_(keys),
+      registry_(std::move(registry)),
+      workload_(workload),
+      shared_(shared),
+      metrics_(metrics),
+      is_observer_(is_observer),
+      pool_(config.num_executors, config.exec_costs),
+      cross_executor_(registry_.get(), &workload->mapper(),
+                      config.exec_costs.op_cost),
+      owned_shard_(ShardOwnedBy(id, 0, config.n)) {
+  dag::DagConfig dag_config;
+  dag_config.n = config_.n;
+  dag_config.id = id_;
+  dag_config.epoch = 0;
+  dag_ = std::make_unique<dag::DagCore>(dag_config, keys_, network_);
+  dag_->SetRoundReadyCallback([this](Round r) { OnRoundReady(r); });
+  dag_->SetBlockReceivedCallback(
+      [this](const dag::BlockPtr& b) { OnBlockReceived(b); });
+  dag_->SetCommitCallback(
+      [this](const dag::CommittedSubDag& s) { OnCommit(s); });
+}
+
+void ThunderboltNode::Start() {
+  network_->RegisterHandler(
+      id_, [this](ReplicaId from, const net::PayloadPtr& payload) {
+        if (stopped_) return;
+        dag_->OnMessage(from, payload);
+      });
+  dag_->Start();
+}
+
+// --- Proposal pipeline --------------------------------------------------------
+
+void ThunderboltNode::OnRoundReady(Round round) {
+  (void)round;
+  TryPropose();
+}
+
+void ThunderboltNode::TryPropose() {
+  if (stopped_ || building_) return;
+  Round next = dag_->highest_proposed_round() + 1;
+  if (next > dag_->highest_ready_round()) return;
+  building_ = true;
+  building_round_ = next;
+  leader_wait_armed_ = false;
+  BuildProposal(next);
+}
+
+bool ThunderboltNode::ShouldShift(Round round) const {
+  if (shift_sent_) return false;  // Condition (4): shift once per DAG.
+  // Condition (2): proposed for at least K' rounds.
+  if (config_.reconfig_period_k_prime > 0 &&
+      rounds_proposed_in_epoch_ >= config_.reconfig_period_k_prime) {
+    return true;
+  }
+  // Condition (3): f+1 Shift blocks seen from distinct replicas.
+  if (shift_seen_.size() >= WeakQuorumSize(config_.n)) return true;
+  // Condition (1): some shard proposer silent for K rounds.
+  if (round > config_.silence_rounds_k) {
+    for (ReplicaId p = 0; p < config_.n; ++p) {
+      if (p == id_) continue;
+      if (dag_->LatestBlockRoundFrom(p) + config_.silence_rounds_k < round) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ThunderboltNode::ConflictsWithPendingCross(
+    const txn::Transaction& tx) const {
+  for (const std::string& account : tx.accounts) {
+    if (pending_cross_accounts_.count(account)) return true;
+  }
+  return false;
+}
+
+void ThunderboltNode::PullBatch(std::vector<txn::Transaction>* singles,
+                                std::vector<txn::Transaction>* crosses) {
+  std::vector<txn::Transaction> batch =
+      workload_->MakeShardBatch(owned_shard_, config_.batch_size);
+  SimTime now = simulator_->Now();
+  for (txn::Transaction& tx : batch) {
+    tx.submit_time = now;
+    if (config_.mode == ExecutionMode::kTusk ||
+        !workload_->mapper().IsSingleShard(tx)) {
+      crosses->push_back(std::move(tx));
+    } else {
+      singles->push_back(std::move(tx));
+    }
+  }
+}
+
+void ThunderboltNode::BuildProposal(Round round) {
+  if (stopped_) return;
+  assert(building_ && building_round_ == round);
+
+  // Shift decision first (section 6): a Shift block carries no payload.
+  if (ShouldShift(round)) {
+    auto payload = std::make_shared<ThunderboltPayload>();
+    payload->kind = PayloadKind::kShift;
+    payload->shard = owned_shard_;
+    shift_sent_ = true;
+    FinishProposal(round, std::move(payload), Millis(1));
+    return;
+  }
+
+  if (config_.mode == ExecutionMode::kTusk) {
+    // Plain Tusk: the block carries raw transactions; execution happens
+    // serially after commit.
+    std::vector<txn::Transaction> singles, crosses;
+    PullBatch(&singles, &crosses);
+    auto payload = std::make_shared<ThunderboltPayload>();
+    payload->kind = PayloadKind::kNormal;
+    payload->shard = owned_shard_;
+    payload->cross_shard = std::move(crosses);
+    FinishProposal(round, std::move(payload), config_.proposal_prep_cost);
+    return;
+  }
+
+  // Rule P3: for odd rounds led by another replica, wait for the leader's
+  // round-r proposal before preplaying, so conflicting uncommitted
+  // cross-shard transactions in its history are visible.
+  ReplicaId leader = dag_->LeaderOf(round);
+  if (leader != dag::DagCore::kNoLeader && leader != id_ &&
+      !dag_->GetBlock(round, leader) && !leader_wait_expired_.count(round)) {
+    if (!leader_wait_armed_) {
+      leader_wait_armed_ = true;
+      EpochId epoch_at_arm = epoch_;
+      simulator_->ScheduleAfter(
+          config_.leader_timeout, [this, round, epoch_at_arm]() {
+            if (stopped_ || epoch_ != epoch_at_arm) return;
+            leader_wait_expired_.insert(round);
+            if (building_ && building_round_ == round) BuildProposal(round);
+          });
+    }
+    return;  // Re-entered from OnBlockReceived or the timeout.
+  }
+  const bool leader_timed_out = leader_wait_expired_.count(round) > 0;
+
+  std::vector<txn::Transaction> singles, crosses;
+  PullBatch(&singles, &crosses);
+
+  // Re-admit deferred transactions whose conflicts cleared; convert the
+  // ones that waited past the leader timeout (rule P4 -> cross-shard).
+  SimTime now = simulator_->Now();
+  std::deque<std::pair<txn::Transaction, SimTime>> still_deferred;
+  while (!deferred_singles_.empty()) {
+    auto [tx, since] = std::move(deferred_singles_.front());
+    deferred_singles_.pop_front();
+    if (!ConflictsWithPendingCross(tx)) {
+      singles.push_back(std::move(tx));
+    } else if (now - since > config_.leader_timeout) {
+      if (is_observer_) ++metrics_->conversions;
+      crosses.push_back(std::move(tx));
+    } else {
+      still_deferred.emplace_back(std::move(tx), since);
+    }
+  }
+  deferred_singles_ = std::move(still_deferred);
+
+  if (leader_timed_out) {
+    // Rule P6: the leader is silent; convert this round's single-shard
+    // transactions to cross-shard and submit them directly.
+    if (is_observer_) metrics_->conversions += singles.size();
+    for (txn::Transaction& tx : singles) crosses.push_back(std::move(tx));
+    singles.clear();
+  } else {
+    // Rule P4: single-shard transactions that conflict with known
+    // uncommitted cross-shard transactions cannot be preplayed. Default:
+    // convert them to cross-shard immediately. With use_skip_blocks, hold
+    // them back instead and emit Skip blocks until the conflicts finalize
+    // (the section 5.4 preplay-recovery variant).
+    std::vector<txn::Transaction> runnable;
+    runnable.reserve(singles.size());
+    for (txn::Transaction& tx : singles) {
+      if (!ConflictsWithPendingCross(tx)) {
+        runnable.push_back(std::move(tx));
+      } else if (config_.use_skip_blocks) {
+        deferred_singles_.emplace_back(std::move(tx), now);
+      } else {
+        if (is_observer_) ++metrics_->conversions;
+        crosses.push_back(std::move(tx));
+      }
+    }
+    singles = std::move(runnable);
+  }
+
+  if (singles.empty() && config_.mode != ExecutionMode::kTusk &&
+      !deferred_singles_.empty()) {
+    // Nothing preplayable: emit a Skip block (section 5.4) so the DAG keeps
+    // advancing while prior cross-shard leaders finalize.
+    auto payload = std::make_shared<ThunderboltPayload>();
+    payload->kind = PayloadKind::kSkip;
+    payload->shard = owned_shard_;
+    payload->cross_shard = std::move(crosses);
+    FinishProposal(round, std::move(payload), config_.proposal_prep_cost);
+    return;
+  }
+
+  StartPreplay(round, std::move(singles), std::move(crosses));
+}
+
+void ThunderboltNode::StartPreplay(Round round,
+                                   std::vector<txn::Transaction> singles,
+                                   std::vector<txn::Transaction> crosses) {
+  OverlayStore view(&overlay_, &shared_->canonical);
+
+  std::unique_ptr<ce::BatchEngine> engine;
+  const uint32_t batch = static_cast<uint32_t>(singles.size());
+  if (config_.mode == ExecutionMode::kThunderboltOcc) {
+    engine = std::make_unique<baselines::OccEngine>(&view, batch);
+  } else {
+    engine = std::make_unique<ce::ConcurrencyController>(&view, batch);
+  }
+
+  SimTime now = simulator_->Now();
+  SimTime start = std::max(now, ce_free_);
+  auto payload = std::make_shared<ThunderboltPayload>();
+  payload->kind = PayloadKind::kNormal;
+  payload->shard = owned_shard_;
+  payload->cross_shard = std::move(crosses);
+
+  SimTime duration = 0;
+  if (batch > 0) {
+    auto result = pool_.Run(*engine, *registry_, singles, start);
+    if (!result.ok()) {
+      // Executor livelock would be a bug; surface loudly in sim runs.
+      assert(false && "preplay failed");
+      building_ = false;
+      return;
+    }
+    duration = result->duration;
+    if (is_observer_) metrics_->preplay_aborts += result->total_aborts;
+
+    // Assemble the preplayed section in serialization order.
+    payload->preplayed.reserve(batch);
+    for (ce::TxnSlot slot : result->order) {
+      PreplayedTxn p;
+      p.tx = singles[slot];
+      p.rw_set = result->records[slot].rw_set;
+      p.emitted = result->records[slot].emitted;
+      payload->preplayed.push_back(std::move(p));
+    }
+  }
+  ce_free_ = start + duration;
+
+  // The proposal goes out once preplay finishes (virtual time).
+  SimTime wait = ce_free_ > now ? ce_free_ - now : 0;
+  EpochId epoch_at_start = epoch_;
+  simulator_->ScheduleAfter(
+      wait, [this, round, payload, epoch_at_start]() {
+        if (stopped_ || epoch_ != epoch_at_start) return;
+        if (!building_ || building_round_ != round) return;
+        // Track in-flight writes in the speculative overlay so the next
+        // batch preplays against this block's results.
+        InFlightBlock inflight;
+        inflight.digest = payload->ContentDigest();
+        for (const PreplayedTxn& p : payload->preplayed) {
+          for (const txn::Operation& w : p.rw_set.writes) {
+            inflight.writes.emplace_back(w.key, w.value);
+            overlay_[w.key] = w.value;
+          }
+        }
+        if (!inflight.writes.empty()) {
+          in_flight_.push_back(std::move(inflight));
+        }
+        FinishProposal(round, payload, config_.proposal_prep_cost);
+      });
+}
+
+void ThunderboltNode::FinishProposal(Round round,
+                                     std::shared_ptr<ThunderboltPayload> p,
+                                     SimTime prep_cost) {
+  EpochId epoch_at_start = epoch_;
+  simulator_->ScheduleAfter(prep_cost, [this, round, p, epoch_at_start]() {
+    if (stopped_ || epoch_ != epoch_at_start) return;
+    if (!building_ || building_round_ != round) return;
+    // Fill in the in-flight digest now that the block digest is known via
+    // proposal (content digest suffices for matching on commit).
+    Status s = dag_->Propose(round, p);
+    if (s.ok()) {
+      ++proposals_made_;
+      ++rounds_proposed_in_epoch_;
+    }
+    building_ = false;
+    TryPropose();
+  });
+}
+
+// --- DAG callbacks ----------------------------------------------------------
+
+void ThunderboltNode::OnBlockReceived(const dag::BlockPtr& block) {
+  const ThunderboltPayload* payload = PayloadOf(block);
+  if (payload == nullptr) return;
+  if (payload->kind == PayloadKind::kShift) {
+    shift_seen_.insert(block->proposer);
+  }
+  // Track uncommitted cross-shard transactions for the P4 conflict check.
+  for (const txn::Transaction& tx : payload->cross_shard) {
+    if (pending_cross_.emplace(tx.id, tx.accounts).second) {
+      for (const std::string& account : tx.accounts) {
+        ++pending_cross_accounts_[account];
+      }
+    }
+  }
+  // Rule P3 continuation: a waiting proposer re-checks once the leader's
+  // proposal arrives.
+  if (building_ && leader_wait_armed_ &&
+      block->round == building_round_ &&
+      block->proposer == dag_->LeaderOf(building_round_)) {
+    BuildProposal(building_round_);
+  }
+}
+
+void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
+  if (stopped_) return;
+  SimTime now = simulator_->Now();
+  SimTime start = std::max(now, commit_pipeline_free_);
+  SimTime cost = 0;
+
+  const Hash256 leader_digest = sub_dag.leader->Digest();
+  const bool first_processor =
+      shared_->processed_leaders.insert(leader_digest).second;
+
+  std::vector<const txn::Transaction*> crosses;
+  std::vector<std::pair<const ThunderboltPayload*, const dag::BlockPtr*>>
+      ordered;
+  for (const dag::BlockPtr& block : sub_dag.blocks) {
+    const ThunderboltPayload* payload = PayloadOf(block);
+    if (payload == nullptr) continue;
+    ordered.emplace_back(payload, &block);
+  }
+
+  // Pass 1 (G1/P2): single-shard preplayed sections, in sub-DAG order.
+  for (auto& [payload, block_ptr] : ordered) {
+    const dag::BlockPtr& block = *block_ptr;
+    if (payload->kind == PayloadKind::kShift) {
+      shift_committed_.insert(block->proposer);
+      if (is_observer_) ++metrics_->shift_blocks;
+      continue;
+    }
+    if (payload->kind == PayloadKind::kSkip && is_observer_) {
+      ++metrics_->skip_blocks;
+    }
+    if (payload->preplayed.empty()) continue;
+
+    Hash256 content_digest = payload->ContentDigest();
+    SharedClusterState::BlockOutcome outcome;
+    auto memo = shared_->block_outcomes.find(content_digest);
+    if (memo != shared_->block_outcomes.end()) {
+      outcome = memo->second;
+    } else {
+      // First replica to reach this block validates it for real against
+      // the canonical committed store and applies the writes.
+      ValidationResult vr =
+          ValidatePreplay(*registry_, payload->preplayed, shared_->canonical);
+#ifdef THUNDERBOLT_DEBUG_VALIDATION
+      if (!vr.valid) {
+        static int dumped = 0;
+        if (dumped++ < 8) {
+          fprintf(stderr,
+                  "[validation-fail] proposer=%u shard=%u round=%llu: %s\n",
+                  block->proposer, payload->shard,
+                  (unsigned long long)block->round, vr.failure.c_str());
+        }
+      }
+#endif
+      outcome.valid = vr.valid;
+      outcome.ops = vr.ops;
+      outcome.critical_path = ValidationCriticalPath(payload->preplayed);
+      outcome.txs = payload->preplayed.size();
+      if (vr.valid) {
+        shared_->canonical.Write(vr.writes);
+      }
+      shared_->block_outcomes.emplace(content_digest, outcome);
+    }
+
+    // Virtual validation time: replay work divided across validators,
+    // bounded below by the dependency graph's critical path.
+    uint64_t per_txn_ops =
+        outcome.txs > 0 ? std::max<uint64_t>(1, outcome.ops / outcome.txs)
+                        : 1;
+    uint64_t parallel_ops = std::max<uint64_t>(
+        outcome.ops / std::max(1u, config_.num_validators),
+        static_cast<uint64_t>(outcome.critical_path) * per_txn_ops);
+    cost += parallel_ops * config_.validation_op_cost;
+
+    if (!outcome.valid) {
+      if (is_observer_) ++metrics_->invalid_blocks;
+      continue;
+    }
+    // Retire this block from our speculative overlay if it is ours.
+    if (block->proposer == id_) {
+      for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+        if (it->digest == content_digest) {
+          in_flight_.erase(it);
+          RebuildOverlay();
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: cross-shard transactions (and Tusk raw transactions), in
+  // sub-DAG order, after all single-shard sections (rule P2).
+  for (auto& [payload, block_ptr] : ordered) {
+    (void)block_ptr;
+    for (const txn::Transaction& tx : payload->cross_shard) {
+      crosses.push_back(&tx);
+      auto it = pending_cross_.find(tx.id);
+      if (it != pending_cross_.end()) {
+        for (const std::string& account : it->second) {
+          auto ait = pending_cross_accounts_.find(account);
+          if (ait != pending_cross_accounts_.end() && --ait->second == 0) {
+            pending_cross_accounts_.erase(ait);
+          }
+        }
+        pending_cross_.erase(it);
+      }
+    }
+  }
+
+  if (!crosses.empty()) {
+    SharedClusterState::CrossOutcome cross_outcome;
+    auto memo = shared_->cross_outcomes.find(leader_digest);
+    if (memo != shared_->cross_outcomes.end()) {
+      cross_outcome = memo->second;
+    } else {
+      std::vector<txn::Transaction> txs;
+      txs.reserve(crosses.size());
+      for (const txn::Transaction* tx : crosses) txs.push_back(*tx);
+      if (config_.mode == ExecutionMode::kTusk) {
+        // Serial post-consensus execution.
+        baselines::SerialExecutionResult r = baselines::ExecuteSerial(
+            *registry_, txs, &shared_->canonical, config_.exec_costs.op_cost);
+        cross_outcome.executed = txs.size();
+        cross_outcome.duration = r.duration;
+      } else {
+        CrossShardResult r =
+            cross_executor_.Execute(txs, &shared_->canonical);
+        cross_outcome.executed = r.executed;
+        cross_outcome.duration = r.duration;
+      }
+      shared_->cross_outcomes.emplace(leader_digest, cross_outcome);
+    }
+    cost += cross_outcome.duration;
+  }
+  (void)first_processor;
+
+  commit_pipeline_free_ = start + cost;
+
+  if (is_observer_) {
+    // One sample per committed transaction, stamped with the pipeline
+    // completion time (see ClusterMetrics::CommitSample).
+    for (auto& [payload, block_ptr] : ordered) {
+      (void)block_ptr;
+      Hash256 content_digest = payload->ContentDigest();
+      auto memo = shared_->block_outcomes.find(content_digest);
+      bool valid = memo == shared_->block_outcomes.end() || memo->second.valid;
+      if (valid) {
+        for (const PreplayedTxn& p : payload->preplayed) {
+          metrics_->samples.push_back(ClusterMetrics::CommitSample{
+              commit_pipeline_free_, p.tx.submit_time, false});
+        }
+      }
+      for (const txn::Transaction& tx : payload->cross_shard) {
+        metrics_->samples.push_back(ClusterMetrics::CommitSample{
+            commit_pipeline_free_, tx.submit_time, true});
+      }
+    }
+    metrics_->commit_times.emplace_back(
+        static_cast<Round>(metrics_->commit_times.size() + 1),
+        commit_pipeline_free_);
+    metrics_->last_commit_time = commit_pipeline_free_;
+  }
+
+  // Reconfiguration trigger: first commit whose epoch-cumulative history
+  // contains 2f+1 Shift blocks from distinct proposers ends this DAG.
+  if (shift_committed_.size() >= QuorumSize(config_.n)) {
+    Round ending_round = sub_dag.leader_round;
+    EpochId epoch_now = epoch_;
+    // Defer the switch out of the DagCore callback stack (the commit loop
+    // must not have the DAG reset under it).
+    simulator_->ScheduleAfter(0, [this, ending_round, epoch_now]() {
+      if (stopped_ || epoch_ != epoch_now) return;
+      Reconfigure(ending_round);
+    });
+  }
+}
+
+void ThunderboltNode::RebuildOverlay() {
+  overlay_.clear();
+  for (const InFlightBlock& b : in_flight_) {
+    for (const auto& [key, value] : b.writes) {
+      overlay_[key] = value;
+    }
+  }
+}
+
+void ThunderboltNode::Reconfigure(Round ending_round) {
+  (void)ending_round;
+  ++epoch_;
+  owned_shard_ = ShardOwnedBy(id_, epoch_, config_.n);
+  if (is_observer_) ++metrics_->reconfigurations;
+
+  // Uncommitted state of the old DAG is discarded; clients retransmit the
+  // affected transactions (open-loop workload keeps generating).
+  pending_cross_.clear();
+  pending_cross_accounts_.clear();
+  deferred_singles_.clear();
+  in_flight_.clear();
+  overlay_.clear();
+  shift_sent_ = false;
+  shift_seen_.clear();
+  shift_committed_.clear();
+  rounds_proposed_in_epoch_ = 0;
+  leader_wait_expired_.clear();
+  leader_wait_armed_ = false;
+  building_ = false;
+  building_round_ = 0;
+
+  dag_->ResetForNewEpoch(epoch_);
+}
+
+}  // namespace thunderbolt::core

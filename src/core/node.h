@@ -1,0 +1,226 @@
+// ThunderboltNode: one replica of the Thunderbolt system (paper sections
+// 3-6), combining every role the paper assigns to a node:
+//   1. shard proposer — preplays its shard's single-shard transactions
+//      through the Concurrent Executor (EOV) and proposes blocks;
+//   2. replica — participates in the Tusk DAG consensus;
+//   3. leader — commits cross-shard transactions in total order (OE).
+//
+// Proposal rules P1-P6 (section 5.1):
+//   P1  Cross-shard TXs bypass the CE and ride blocks unexecuted.
+//   P2  At commit, a leader's single-shard blocks apply before its
+//       cross-shard transactions (G1).
+//   P3  Before preplaying round r, a proposer waits for round r's leader
+//       proposal (odd rounds) to learn of conflicting cross-shard TXs.
+//   P4  Single-shard TXs whose accounts overlap a known uncommitted
+//       cross-shard TX are not preplayed: they are deferred (Skip-block
+//       path, section 5.4) and converted to cross-shard TXs if the
+//       conflict persists past the leader timeout.
+//   P5  Ordering gaps from missing shard proposals are handled a
+//       posteriori: deterministic validation discards any preplayed block
+//       whose declared reads no longer match, at every honest replica
+//       alike (see DESIGN.md section 2.2).
+//   P6  A proposer whose leader wait times out converts its pending
+//       single-shard TXs to cross-shard TXs and submits them directly.
+//
+// Reconfiguration (section 6): Shift blocks are emitted on K-round
+// proposer silence, every K' rounds, or after seeing f+1 Shift blocks;
+// the first commit whose epoch-cumulative history holds 2f+1 Shift blocks
+// ends the DAG, and all replicas restart a fresh DAG with shard ownership
+// rotated round-robin, without ever pausing DAG construction.
+//
+// Simulation-level state dedup: all honest replicas apply the identical
+// committed sequence, so the cluster keeps one canonical committed store
+// and memoizes per-commit outcomes; the first replica to process a commit
+// computes validation/execution for real and the rest reuse the verdict
+// while still being charged the virtual-time cost (see DESIGN.md 2.1).
+#ifndef THUNDERBOLT_CORE_NODE_H_
+#define THUNDERBOLT_CORE_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ce/sim_executor_pool.h"
+#include "common/histogram.h"
+#include "common/simulator.h"
+#include "common/types.h"
+#include "contract/contract.h"
+#include "core/config.h"
+#include "core/cross_shard_executor.h"
+#include "core/payload.h"
+#include "core/validator.h"
+#include "crypto/signature.h"
+#include "dag/dag_core.h"
+#include "net/network.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+#include "workload/smallbank_workload.h"
+
+namespace thunderbolt::core {
+
+/// Metrics aggregated by the observer replica (single counting point).
+struct ClusterMetrics {
+  /// One entry per committed transaction. `completion` is the virtual time
+  /// the validation/execution pipeline finished the transaction — a
+  /// transaction only counts toward a measurement window once its
+  /// completion falls inside it (consensus commit alone is not enough:
+  /// under Tusk the serial executor backlog grows without bound and
+  /// counting at commit would credit unexecuted work).
+  struct CommitSample {
+    SimTime completion;
+    SimTime submit;
+    bool cross;  // OE path (cross-shard or Tusk raw) vs preplayed.
+  };
+  std::vector<CommitSample> samples;   // Monotone in `completion`.
+
+  uint64_t invalid_blocks = 0;        // Preplayed blocks discarded.
+  uint64_t skip_blocks = 0;           // Committed skip blocks.
+  uint64_t shift_blocks = 0;          // Committed shift blocks.
+  uint64_t conversions = 0;           // Single->cross conversions (P4/P6).
+  uint64_t reconfigurations = 0;      // DAG switches.
+  uint64_t preplay_aborts = 0;        // CE re-executions (across batches).
+  /// (commit index, pipeline completion time) per committed leader at the
+  /// observer; drives Figure 16.
+  std::vector<std::pair<Round, SimTime>> commit_times;
+  SimTime last_commit_time = 0;
+};
+
+/// State shared across all nodes of a simulated cluster: the canonical
+/// committed store and the per-commit computation memo (see file header).
+struct SharedClusterState {
+  storage::MemKVStore canonical;
+  struct BlockOutcome {
+    bool valid = true;
+    uint64_t ops = 0;
+    uint32_t critical_path = 0;
+    uint64_t txs = 0;
+  };
+  std::unordered_map<Hash256, BlockOutcome> block_outcomes;
+  struct CrossOutcome {
+    uint64_t executed = 0;
+    SimTime duration = 0;
+  };
+  std::unordered_map<Hash256, CrossOutcome> cross_outcomes;  // By leader.
+  std::unordered_set<Hash256> processed_leaders;
+};
+
+class ThunderboltNode {
+ public:
+  ThunderboltNode(const ThunderboltConfig& config, ReplicaId id,
+                  sim::Simulator* simulator, net::SimNetwork* network,
+                  const crypto::KeyDirectory* keys,
+                  std::shared_ptr<const contract::Registry> registry,
+                  workload::SmallBankWorkload* workload,
+                  SharedClusterState* shared, ClusterMetrics* metrics,
+                  bool is_observer);
+
+  ThunderboltNode(const ThunderboltNode&) = delete;
+  ThunderboltNode& operator=(const ThunderboltNode&) = delete;
+
+  /// Registers network handlers and kicks off round 1.
+  void Start();
+
+  /// Stops proposing (crash simulation; network drop handled by caller).
+  void Stop() { stopped_ = true; }
+
+  ReplicaId id() const { return id_; }
+  EpochId epoch() const { return epoch_; }
+  ShardId owned_shard() const { return owned_shard_; }
+  const dag::DagCore& dag() const { return *dag_; }
+  uint64_t proposals_made() const { return proposals_made_; }
+
+  /// Shard owned by replica `id` in `epoch` for an n-replica cluster:
+  /// ownership rotates round-robin each epoch (section 6).
+  static ShardId ShardOwnedBy(ReplicaId id, EpochId epoch, uint32_t n) {
+    return static_cast<ShardId>((id + epoch) % n);
+  }
+
+ private:
+  // --- Proposal pipeline ----------------------------------------------------
+  void OnRoundReady(Round round);
+  void TryPropose();
+  void BuildProposal(Round round);
+  void FinishProposal(Round round, std::shared_ptr<ThunderboltPayload> p,
+                      SimTime prep_cost);
+  void StartPreplay(Round round, std::vector<txn::Transaction> singles,
+                    std::vector<txn::Transaction> crosses);
+  /// Pulls a fresh shard batch, routing each txn to the single- or
+  /// cross-shard path.
+  void PullBatch(std::vector<txn::Transaction>* singles,
+                 std::vector<txn::Transaction>* crosses);
+  bool ShouldShift(Round round) const;
+  /// True when `tx`'s accounts overlap any known uncommitted cross-shard
+  /// transaction (the P4 conflict predicate).
+  bool ConflictsWithPendingCross(const txn::Transaction& tx) const;
+
+  // --- DAG callbacks -----------------------------------------------------------
+  void OnBlockReceived(const dag::BlockPtr& block);
+  void OnCommit(const dag::CommittedSubDag& sub_dag);
+  void Reconfigure(Round ending_round);
+
+  // --- Speculative state (own shard) ---------------------------------------
+  /// Rebuilds the preplay overlay from in-flight (proposed, uncommitted)
+  /// blocks' writes.
+  void RebuildOverlay();
+
+  const ThunderboltConfig config_;
+  const ReplicaId id_;
+  sim::Simulator* simulator_;
+  net::SimNetwork* network_;
+  const crypto::KeyDirectory* keys_;
+  std::shared_ptr<const contract::Registry> registry_;
+  workload::SmallBankWorkload* workload_;
+  SharedClusterState* shared_;
+  ClusterMetrics* metrics_;
+  const bool is_observer_;
+
+  std::unique_ptr<dag::DagCore> dag_;
+  ce::SimExecutorPool pool_;
+  CrossShardExecutor cross_executor_;
+
+  EpochId epoch_ = 0;
+  ShardId owned_shard_;
+  bool stopped_ = false;
+
+  // Proposal pipeline state.
+  bool building_ = false;
+  Round building_round_ = 0;
+  bool leader_wait_armed_ = false;
+  std::set<Round> leader_wait_expired_;
+  SimTime ce_free_ = 0;
+  uint64_t proposals_made_ = 0;
+  Round rounds_proposed_in_epoch_ = 0;
+
+  // Deferred single-shard transactions (Skip-block path, section 5.4),
+  // with the virtual time each was first deferred (conversion deadline).
+  std::deque<std::pair<txn::Transaction, SimTime>> deferred_singles_;
+
+  // Pending (seen, uncommitted) cross-shard transactions: id -> accounts.
+  std::unordered_map<TxnId, std::vector<std::string>> pending_cross_;
+  /// Reference-counted account index over pending_cross_.
+  std::unordered_map<std::string, uint32_t> pending_cross_accounts_;
+
+  // Preplay overlay: own-shard speculative writes from in-flight blocks.
+  struct InFlightBlock {
+    Hash256 digest;
+    std::vector<std::pair<storage::Key, storage::Value>> writes;
+  };
+  std::vector<InFlightBlock> in_flight_;
+  std::unordered_map<storage::Key, storage::Value> overlay_;
+
+  // Reconfiguration state (per epoch).
+  bool shift_sent_ = false;
+  std::set<ReplicaId> shift_seen_;       // From received blocks (cond. 3).
+  std::set<ReplicaId> shift_committed_;  // From committed blocks (quorum).
+
+  // Commit pipeline (validation + execution) virtual-time resource.
+  SimTime commit_pipeline_free_ = 0;
+};
+
+}  // namespace thunderbolt::core
+
+#endif  // THUNDERBOLT_CORE_NODE_H_

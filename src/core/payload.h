@@ -1,0 +1,78 @@
+// Thunderbolt block payloads (the BlockContent carried by DAG vertices).
+//
+// A shard proposer's block carries up to three sections:
+//   - preplayed single-shard transactions with their CE outcomes
+//     (read/write sets, results, scheduled order) — the EOV path;
+//   - raw cross-shard transactions, submitted to the DAG without
+//     execution (rule P1) — the OE path;
+//   - a marker making the block a Skip block (section 5.4) or a Shift
+//     block (section 6).
+#ifndef THUNDERBOLT_CORE_PAYLOAD_H_
+#define THUNDERBOLT_CORE_PAYLOAD_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "dag/block.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::core {
+
+/// A single-shard transaction together with its preplay outcome. Blocks
+/// list these in the CE's scheduled (serialization) order.
+struct PreplayedTxn {
+  txn::Transaction tx;
+  txn::ReadWriteSet rw_set;
+  std::vector<storage::Value> emitted;
+};
+
+enum class PayloadKind : uint8_t {
+  kNormal = 0,  // Preplayed single-shard txs and/or cross-shard txs.
+  kSkip = 1,    // Preplay paused awaiting cross-shard finalization (5.4).
+  kShift = 2,   // Reconfiguration vote (section 6).
+};
+
+class ThunderboltPayload final : public dag::BlockContent {
+ public:
+  ThunderboltPayload() = default;
+  /// Copies drop the digest cache so a mutated copy re-hashes correctly.
+  ThunderboltPayload(const ThunderboltPayload& other)
+      : kind(other.kind),
+        shard(other.shard),
+        preplayed(other.preplayed),
+        cross_shard(other.cross_shard) {}
+  ThunderboltPayload& operator=(const ThunderboltPayload& other) {
+    if (this != &other) {
+      kind = other.kind;
+      shard = other.shard;
+      preplayed = other.preplayed;
+      cross_shard = other.cross_shard;
+      digest_cached_ = false;
+    }
+    return *this;
+  }
+
+  PayloadKind kind = PayloadKind::kNormal;
+  /// The shard this proposer owned when creating the block.
+  ShardId shard = 0;
+  /// EOV section: preplayed single-shard transactions in scheduled order.
+  std::vector<PreplayedTxn> preplayed;
+  /// OE section: cross-shard transactions awaiting total ordering.
+  std::vector<txn::Transaction> cross_shard;
+
+  /// Cached after the first call; payloads are immutable once proposed.
+  Hash256 ContentDigest() const override;
+
+  /// Approximate wire size, used by the simulated network's bandwidth and
+  /// processing cost models.
+  uint64_t SizeBytes() const override;
+
+ private:
+  mutable Hash256 digest_cache_{};
+  mutable bool digest_cached_ = false;
+};
+
+}  // namespace thunderbolt::core
+
+#endif  // THUNDERBOLT_CORE_PAYLOAD_H_

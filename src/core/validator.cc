@@ -1,0 +1,168 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace thunderbolt::core {
+
+namespace {
+
+using storage::Key;
+using storage::Value;
+
+/// Context that replays a transaction against base + earlier block writes,
+/// verifying every read against the declared read set.
+class ValidationContext final : public contract::ContractContext {
+ public:
+  ValidationContext(const storage::KVStore* base,
+                    const std::unordered_map<Key, Value>* block_writes,
+                    const txn::ReadWriteSet* declared)
+      : base_(base), block_writes_(block_writes), declared_(declared) {}
+
+  Result<Value> Read(const Key& key) override {
+    ++ops;
+    auto wit = local_writes_.find(key);
+    if (wit != local_writes_.end()) {
+      // Read-your-own-write: served locally; the CC records no read for
+      // keys the transaction wrote first, so no declared entry exists.
+      return wit->second;
+    }
+    auto bit = block_writes_->find(key);
+    Value actual = (bit != block_writes_->end())
+                       ? bit->second
+                       : base_->GetOrDefault(key, 0);
+    // The declared read set records the *first* read per key.
+    if (!seen_reads_.count(key)) {
+      seen_reads_.insert(key);
+      const txn::Operation* declared_read = nullptr;
+      for (const txn::Operation& op : declared_->reads) {
+        if (op.key == key) {
+          declared_read = &op;
+          break;
+        }
+      }
+      if (declared_read == nullptr) {
+        mismatch = "undeclared read of " + key;
+        return Status::Corruption(mismatch);
+      }
+      if (declared_read->value != actual) {
+        mismatch = "read mismatch on " + key + ": declared " +
+                   std::to_string(declared_read->value) + " actual " +
+                   std::to_string(actual);
+        return Status::Corruption(mismatch);
+      }
+    }
+    return actual;
+  }
+
+  Status Write(const Key& key, Value value) override {
+    ++ops;
+    local_writes_[key] = value;
+    return Status::OK();
+  }
+
+  const std::map<Key, Value>& local_writes() const { return local_writes_; }
+
+  uint64_t ops = 0;
+  std::string mismatch;
+
+ private:
+  const storage::KVStore* base_;
+  const std::unordered_map<Key, Value>* block_writes_;
+  const txn::ReadWriteSet* declared_;
+  std::map<Key, Value> local_writes_;
+  std::set<Key> seen_reads_;
+};
+
+}  // namespace
+
+ValidationResult ValidatePreplay(const contract::Registry& registry,
+                                 const std::vector<PreplayedTxn>& preplayed,
+                                 const storage::KVStore& base) {
+  ValidationResult result;
+  std::unordered_map<Key, Value> block_writes;
+
+  for (const PreplayedTxn& p : preplayed) {
+    ValidationContext ctx(&base, &block_writes, &p.rw_set);
+    Status s = registry.Execute(p.tx, ctx);
+    result.ops += ctx.ops;
+    if (!s.ok() && !s.IsCorruption()) {
+      // Contract-level failure must also have produced an empty declared
+      // write set; treat declared-nonempty as invalid.
+      if (!p.rw_set.writes.empty()) {
+        result.valid = false;
+        result.failure = "failed contract declared writes: " + s.ToString();
+        return result;
+      }
+      continue;
+    }
+    if (!s.ok()) {
+      result.valid = false;
+      result.failure = ctx.mismatch.empty() ? s.ToString() : ctx.mismatch;
+      return result;
+    }
+    // Re-executed writes must match the declared write set exactly.
+    const auto& local = ctx.local_writes();
+    if (local.size() != p.rw_set.writes.size()) {
+      result.valid = false;
+      result.failure = "write-set size mismatch for txn " +
+                       std::to_string(p.tx.id);
+      return result;
+    }
+    for (const txn::Operation& op : p.rw_set.writes) {
+      auto it = local.find(op.key);
+      if (it == local.end() || it->second != op.value) {
+        result.valid = false;
+        result.failure = "write mismatch on " + op.key;
+        return result;
+      }
+    }
+    for (const auto& [key, value] : local) {
+      block_writes[key] = value;
+    }
+  }
+
+  // Final write batch: last writer per key in scheduled order.
+  std::vector<std::pair<Key, Value>> entries(block_writes.begin(),
+                                             block_writes.end());
+  std::sort(entries.begin(), entries.end());
+  for (auto& [key, value] : entries) result.writes.Put(key, value);
+  return result;
+}
+
+uint32_t ValidationCriticalPath(const std::vector<PreplayedTxn>& preplayed) {
+  // Longest conflict chain: depth(t) = 1 + max depth over earlier
+  // transactions whose declared sets conflict with t's.
+  std::unordered_map<Key, uint32_t> writer_depth;  // Deepest writer of key.
+  std::unordered_map<Key, uint32_t> reader_depth;  // Deepest reader of key.
+  uint32_t critical = 0;
+  for (const PreplayedTxn& p : preplayed) {
+    uint32_t depth = 0;
+    for (const txn::Operation& op : p.rw_set.reads) {
+      auto it = writer_depth.find(op.key);
+      if (it != writer_depth.end()) depth = std::max(depth, it->second);
+    }
+    for (const txn::Operation& op : p.rw_set.writes) {
+      auto it = writer_depth.find(op.key);
+      if (it != writer_depth.end()) depth = std::max(depth, it->second);
+      auto rit = reader_depth.find(op.key);
+      if (rit != reader_depth.end()) depth = std::max(depth, rit->second);
+    }
+    uint32_t mine = depth + 1;
+    critical = std::max(critical, mine);
+    for (const txn::Operation& op : p.rw_set.reads) {
+      uint32_t& d = reader_depth[op.key];
+      d = std::max(d, mine);
+    }
+    for (const txn::Operation& op : p.rw_set.writes) {
+      uint32_t& d = writer_depth[op.key];
+      d = std::max(d, mine);
+    }
+  }
+  return critical;
+}
+
+}  // namespace thunderbolt::core

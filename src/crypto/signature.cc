@@ -1,0 +1,64 @@
+#include "crypto/signature.h"
+
+#include <algorithm>
+
+namespace thunderbolt::crypto {
+
+KeyPair KeyPair::Derive(uint64_t cluster_seed, ReplicaId id) {
+  Sha256 h;
+  h.Update("thunderbolt-key", 15);
+  h.UpdateInt(cluster_seed);
+  h.UpdateInt(id);
+  return KeyPair(id, h.Finalize());
+}
+
+Signature KeyPair::Sign(const Hash256& digest) const {
+  Sha256 h;
+  h.Update("thunderbolt-sig", 15);
+  h.Update(secret_.bytes.data(), secret_.bytes.size());
+  h.Update(digest.bytes.data(), digest.bytes.size());
+  return Signature{id_, h.Finalize()};
+}
+
+KeyDirectory KeyDirectory::Create(uint32_t n, uint64_t cluster_seed) {
+  KeyDirectory dir;
+  dir.keys_.reserve(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    dir.keys_.push_back(KeyPair::Derive(cluster_seed, id));
+  }
+  return dir;
+}
+
+bool KeyDirectory::Verify(const Hash256& digest, const Signature& sig) const {
+  if (sig.signer >= keys_.size()) return false;
+  Signature expected = keys_[sig.signer].Sign(digest);
+  return expected.mac == sig.mac;
+}
+
+Status QuorumCert::Validate(const KeyDirectory& dir, uint32_t n) const {
+  if (signatures.size() < QuorumSize(n)) {
+    return Status::Corruption("quorum certificate below 2f+1 signatures");
+  }
+  std::vector<ReplicaId> signers;
+  signers.reserve(signatures.size());
+  for (const Signature& sig : signatures) {
+    if (!dir.Verify(digest, sig)) {
+      return Status::Corruption("invalid signature in quorum certificate");
+    }
+    signers.push_back(sig.signer);
+  }
+  std::sort(signers.begin(), signers.end());
+  if (std::adjacent_find(signers.begin(), signers.end()) != signers.end()) {
+    return Status::Corruption("duplicate signer in quorum certificate");
+  }
+  return Status::OK();
+}
+
+bool QuorumCert::Contains(ReplicaId id) const {
+  for (const Signature& sig : signatures) {
+    if (sig.signer == id) return true;
+  }
+  return false;
+}
+
+}  // namespace thunderbolt::crypto

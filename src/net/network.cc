@@ -1,0 +1,88 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thunderbolt::net {
+
+SimTime LatencyModel::SamplePropagation(Rng& rng) const {
+  double jitter = rng.NextExponential(static_cast<double>(jitter_mean));
+  double cap = 10.0 * static_cast<double>(jitter_mean);
+  if (jitter > cap) jitter = cap;
+  return base + static_cast<SimTime>(jitter);
+}
+
+SimNetwork::SimNetwork(sim::Simulator* simulator, uint32_t n,
+                       LatencyModel latency, uint64_t seed)
+    : simulator_(simulator),
+      n_(n),
+      latency_(latency),
+      rng_(seed ^ 0x6e657477ULL),
+      handlers_(n),
+      crashed_(n, false),
+      link_up_(n, std::vector<bool>(n, true)),
+      nic_free_(n, 0) {}
+
+void SimNetwork::RegisterHandler(ReplicaId id, Handler handler) {
+  assert(id < n_);
+  handlers_[id] = std::move(handler);
+}
+
+bool SimNetwork::LinkUp(ReplicaId from, ReplicaId to) const {
+  return !crashed_[from] && !crashed_[to] && link_up_[from][to];
+}
+
+void SimNetwork::Send(ReplicaId from, ReplicaId to, PayloadPtr payload) {
+  assert(from < n_ && to < n_);
+  if (!LinkUp(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  SimTime now = simulator_->Now();
+  SimTime delivery;
+  if (from == to) {
+    delivery = now + Micros(5);  // Loopback skips the NIC.
+  } else {
+    uint64_t size = payload->SizeBytes();
+    SimTime send_start = std::max(now, nic_free_[from]);
+    SimTime tx_time = size / std::max<uint64_t>(1, latency_.bandwidth_bytes_per_us);
+    nic_free_[from] = send_start + tx_time;
+    SimTime receive_cost = size * latency_.receive_ps_per_byte / 1000000;
+    delivery = nic_free_[from] + latency_.SamplePropagation(rng_) +
+               receive_cost;
+  }
+  SimTime delay = delivery - now;
+  simulator_->ScheduleAfter(delay, [this, from, to,
+                                    payload = std::move(payload)]() {
+    // Re-check: the destination may have crashed while in flight.
+    if (crashed_[to] || !handlers_[to]) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    handlers_[to](from, payload);
+  });
+}
+
+void SimNetwork::Broadcast(ReplicaId from, PayloadPtr payload) {
+  for (ReplicaId to = 0; to < n_; ++to) {
+    Send(from, to, payload);
+  }
+}
+
+void SimNetwork::Crash(ReplicaId id) {
+  assert(id < n_);
+  crashed_[id] = true;
+}
+
+void SimNetwork::Restart(ReplicaId id) {
+  assert(id < n_);
+  crashed_[id] = false;
+}
+
+void SimNetwork::SetLink(ReplicaId from, ReplicaId to, bool up) {
+  assert(from < n_ && to < n_);
+  link_up_[from][to] = up;
+}
+
+}  // namespace thunderbolt::net

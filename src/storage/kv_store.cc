@@ -1,0 +1,58 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace thunderbolt::storage {
+
+Result<VersionedValue> MemKVStore::Get(const Key& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+Value MemKVStore::GetOrDefault(const Key& key, Value default_value) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? default_value : it->second.value;
+}
+
+Status MemKVStore::Put(const Key& key, Value value) {
+  VersionedValue& vv = map_[key];
+  vv.value = value;
+  ++vv.version;
+  return Status::OK();
+}
+
+Status MemKVStore::Write(const WriteBatch& batch) {
+  for (const WriteBatch::Entry& e : batch.entries()) {
+    VersionedValue& vv = map_[e.key];
+    vv.value = e.value;
+    ++vv.version;
+  }
+  return Status::OK();
+}
+
+MemKVStore MemKVStore::Clone() const {
+  MemKVStore copy;
+  copy.map_ = map_;
+  return copy;
+}
+
+uint64_t MemKVStore::ContentFingerprint() const {
+  std::vector<const std::pair<const Key, VersionedValue>*> entries;
+  entries.reserve(map_.size());
+  for (const auto& kv : map_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  Sha256 h;
+  for (const auto* kv : entries) {
+    h.Update(kv->first);
+    h.UpdateInt(kv->second.value);
+  }
+  return h.Finalize().Prefix64();
+}
+
+}  // namespace thunderbolt::storage

@@ -1,0 +1,101 @@
+// Versioned key-value storage engine.
+//
+// Substitutes for the LevelDB instance the paper uses to hold SmallBank
+// account balances (DESIGN.md substitution #3). Values are 64-bit integers,
+// matching the paper's data model where contract operations are
+// <Read, K> and <Write, K, V> over numeric account state. Every committed
+// write bumps the key's version; versions drive OCC validation and preplay
+// re-validation.
+#ifndef THUNDERBOLT_STORAGE_KV_STORE_H_
+#define THUNDERBOLT_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace thunderbolt::storage {
+
+using Key = std::string;
+using Value = int64_t;
+using Version = uint64_t;
+
+/// A value together with the version at which it was written.
+struct VersionedValue {
+  Value value = 0;
+  Version version = 0;
+};
+
+/// An atomically applied set of writes.
+class WriteBatch {
+ public:
+  void Put(Key key, Value value) {
+    ops_.push_back(Entry{std::move(key), value});
+  }
+  void Clear() { ops_.clear(); }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  struct Entry {
+    Key key;
+    Value value;
+  };
+  const std::vector<Entry>& entries() const { return ops_; }
+
+ private:
+  std::vector<Entry> ops_;
+};
+
+/// Abstract storage engine interface. Implementations must apply
+/// WriteBatches atomically with respect to snapshots.
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  /// Returns the current value+version, or NotFound.
+  virtual Result<VersionedValue> Get(const Key& key) const = 0;
+
+  /// Returns the value, or `default_value` when the key is absent (reads of
+  /// fresh SmallBank accounts start from zero balances).
+  virtual Value GetOrDefault(const Key& key, Value default_value) const = 0;
+
+  /// Single-key write.
+  virtual Status Put(const Key& key, Value value) = 0;
+
+  /// Atomically applies all writes in the batch.
+  virtual Status Write(const WriteBatch& batch) = 0;
+
+  /// Number of live keys.
+  virtual size_t size() const = 0;
+};
+
+/// In-memory versioned KV store. Not internally synchronized: in the
+/// discrete-event simulation each replica owns its store and all access is
+/// single-threaded per replica (validation worker pools copy snapshots).
+class MemKVStore final : public KVStore {
+ public:
+  MemKVStore() = default;
+
+  Result<VersionedValue> Get(const Key& key) const override;
+  Value GetOrDefault(const Key& key, Value default_value) const override;
+  Status Put(const Key& key, Value value) override;
+  Status Write(const WriteBatch& batch) override;
+  size_t size() const override { return map_.size(); }
+
+  /// Deep copy used to fork validator state.
+  MemKVStore Clone() const;
+
+  /// Content digest over sorted (key, value, version) triples; used by
+  /// tests to assert replica state convergence.
+  uint64_t ContentFingerprint() const;
+
+ private:
+  std::unordered_map<Key, VersionedValue> map_;
+};
+
+}  // namespace thunderbolt::storage
+
+#endif  // THUNDERBOLT_STORAGE_KV_STORE_H_

@@ -1,0 +1,112 @@
+// Transaction and operation model (paper section 3.1, "Data model").
+//
+// A transaction invokes a named contract function with arguments. Contract
+// code is Turing-complete: the exact set of <Read, K> / <Write, K, V>
+// operations it performs is unknowable before execution. What *is* visible
+// up front are the account arguments, which determine the shards involved
+// (every key carries a predefined shard id, SID) — this is how Thunderbolt
+// distinguishes Single-shard TXs from Cross-shard TXs without knowing
+// read/write sets.
+#ifndef THUNDERBOLT_TXN_TRANSACTION_H_
+#define THUNDERBOLT_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "storage/kv_store.h"
+
+namespace thunderbolt::txn {
+
+using storage::Key;
+using storage::Value;
+
+enum class OpType : uint8_t { kRead = 0, kWrite = 1 };
+
+/// One storage access performed during execution. For reads, `value` is the
+/// value observed; for writes, the value written.
+struct Operation {
+  OpType type;
+  Key key;
+  Value value;
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.type == b.type && a.key == b.key && a.value == b.value;
+  }
+};
+
+/// The read set (key -> value observed) and write set (key -> final value)
+/// produced by executing a transaction. Declared in preplay blocks and
+/// re-checked during validation.
+struct ReadWriteSet {
+  std::vector<Operation> reads;
+  std::vector<Operation> writes;
+
+  void Clear() {
+    reads.clear();
+    writes.clear();
+  }
+
+  /// Returns true if the two sets touch a common key with at least one
+  /// write (the standard conflict predicate).
+  bool ConflictsWith(const ReadWriteSet& other) const;
+
+  /// All distinct keys written.
+  std::vector<Key> WrittenKeys() const;
+};
+
+/// A client transaction.
+struct Transaction {
+  TxnId id = 0;
+
+  /// Name of the contract function to invoke (resolved against the
+  /// contract::Registry) — e.g. "smallbank.send_payment".
+  std::string contract;
+
+  /// Account (entity) arguments. Shard placement is derived from these.
+  std::vector<std::string> accounts;
+
+  /// Numeric arguments (amounts etc.).
+  std::vector<Value> params;
+
+  /// Virtual time at which the client submitted the transaction; used for
+  /// end-to-end latency accounting.
+  SimTime submit_time = 0;
+
+  Hash256 Digest() const;
+};
+
+/// Maps keys/accounts to shards. Shard ids are predefined and known to all
+/// replicas (paper section 3.1). A key belongs to the shard of its account
+/// prefix (the part before '/'), so all keys of one account co-locate.
+class ShardMapper {
+ public:
+  explicit ShardMapper(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  ShardId ShardOfAccount(const std::string& account) const;
+  ShardId ShardOfKey(const Key& key) const;
+
+  /// The distinct shards a transaction's account arguments touch, sorted.
+  std::vector<ShardId> ShardsOf(const Transaction& tx) const;
+
+  /// True when all account arguments live in a single shard.
+  bool IsSingleShard(const Transaction& tx) const {
+    return ShardsOf(tx).size() <= 1;
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+/// Builds the storage keys for an account used across the code base.
+/// SmallBank holds a checking and a savings balance per customer.
+std::string CheckingKey(const std::string& account);
+std::string SavingsKey(const std::string& account);
+
+}  // namespace thunderbolt::txn
+
+#endif  // THUNDERBOLT_TXN_TRANSACTION_H_

@@ -1,0 +1,130 @@
+#include "workload/smallbank_workload.h"
+
+#include <cassert>
+
+#include "contract/smallbank.h"
+
+namespace thunderbolt::workload {
+
+SmallBankWorkload::SmallBankWorkload(SmallBankConfig config)
+    : config_(config),
+      mapper_(config.num_shards),
+      rng_(config.seed),
+      global_zipf_(config.num_accounts, config.theta),
+      shard_accounts_(config.num_shards) {
+  for (uint64_t i = 0; i < config_.num_accounts; ++i) {
+    ShardId s = mapper_.ShardOfAccount(AccountName(i));
+    shard_accounts_[s].push_back(i);
+  }
+  shard_zipf_.reserve(config_.num_shards);
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    // Guard against empty shards (tiny account pools): fall back to size 1.
+    uint64_t n = shard_accounts_[s].empty() ? 1 : shard_accounts_[s].size();
+    shard_zipf_.emplace_back(n, config_.theta);
+  }
+}
+
+std::string SmallBankWorkload::AccountName(uint64_t i) {
+  return "acct" + std::to_string(i);
+}
+
+void SmallBankWorkload::InitStore(storage::MemKVStore* store) const {
+  for (uint64_t i = 0; i < config_.num_accounts; ++i) {
+    std::string account = AccountName(i);
+    store->Put(txn::CheckingKey(account), config_.initial_checking);
+    store->Put(txn::SavingsKey(account), config_.initial_savings);
+  }
+}
+
+std::string SmallBankWorkload::SampleGlobalAccount() {
+  return AccountName(global_zipf_.Next(rng_));
+}
+
+std::string SmallBankWorkload::SampleShardAccount(ShardId shard) {
+  const std::vector<uint64_t>& bucket = shard_accounts_[shard];
+  if (bucket.empty()) return AccountName(0);
+  uint64_t rank = shard_zipf_[shard].Next(rng_);
+  return AccountName(bucket[rank]);
+}
+
+txn::Transaction SmallBankWorkload::MakeGetBalance(std::string account) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.contract = contract::kGetBalance;
+  tx.accounts.push_back(std::move(account));
+  return tx;
+}
+
+txn::Transaction SmallBankWorkload::MakeSendPayment(std::string from,
+                                                    std::string to) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.contract = contract::kSendPayment;
+  tx.accounts.push_back(std::move(from));
+  tx.accounts.push_back(std::move(to));
+  tx.params.push_back(static_cast<storage::Value>(rng_.NextRange(1, 5)));
+  return tx;
+}
+
+txn::Transaction SmallBankWorkload::Next() {
+  if (rng_.NextBool(config_.read_ratio)) {
+    return MakeGetBalance(SampleGlobalAccount());
+  }
+  std::string from = SampleGlobalAccount();
+  std::string to = SampleGlobalAccount();
+  // Distinct accounts keep the transfer meaningful.
+  for (int attempts = 0; to == from && attempts < 16; ++attempts) {
+    to = SampleGlobalAccount();
+  }
+  return MakeSendPayment(std::move(from), std::move(to));
+}
+
+txn::Transaction SmallBankWorkload::NextForShard(ShardId shard) {
+  assert(shard < config_.num_shards);
+  if (config_.num_shards > 1 && rng_.NextBool(config_.cross_shard_ratio)) {
+    // Cross-shard SendPayment: one account here, one in another shard.
+    std::string from = SampleShardAccount(shard);
+    ShardId other =
+        static_cast<ShardId>(rng_.NextBounded(config_.num_shards - 1));
+    if (other >= shard) ++other;
+    std::string to = SampleShardAccount(other);
+    return MakeSendPayment(std::move(from), std::move(to));
+  }
+  if (rng_.NextBool(config_.read_ratio)) {
+    return MakeGetBalance(SampleShardAccount(shard));
+  }
+  std::string from = SampleShardAccount(shard);
+  std::string to = SampleShardAccount(shard);
+  for (int attempts = 0; to == from && attempts < 16; ++attempts) {
+    to = SampleShardAccount(shard);
+  }
+  return MakeSendPayment(std::move(from), std::move(to));
+}
+
+std::vector<txn::Transaction> SmallBankWorkload::MakeBatch(size_t count) {
+  std::vector<txn::Transaction> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.push_back(Next());
+  return batch;
+}
+
+std::vector<txn::Transaction> SmallBankWorkload::MakeShardBatch(
+    ShardId shard, size_t count) {
+  std::vector<txn::Transaction> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.push_back(NextForShard(shard));
+  return batch;
+}
+
+storage::Value SmallBankWorkload::TotalBalance(
+    const storage::MemKVStore& store) const {
+  storage::Value total = 0;
+  for (uint64_t i = 0; i < config_.num_accounts; ++i) {
+    std::string account = AccountName(i);
+    total += store.GetOrDefault(txn::CheckingKey(account), 0);
+    total += store.GetOrDefault(txn::SavingsKey(account), 0);
+  }
+  return total;
+}
+
+}  // namespace thunderbolt::workload

@@ -1,0 +1,85 @@
+// SmallBank workload generation (paper sections 11.2 and 12).
+//
+// Transactions mix GetBalance (probability Pr, read-only) and SendPayment
+// (probability 1-Pr, read-modify-write on two accounts), with accounts
+// drawn from a Zipfian distribution (theta controls contention; the paper
+// uses theta = 0.85). For the sharded system evaluation a fraction P of
+// transactions is made cross-shard (accounts in two different shards,
+// Figure 14). Account keys hash-partition across shards via
+// txn::ShardMapper.
+#ifndef THUNDERBOLT_WORKLOAD_SMALLBANK_WORKLOAD_H_
+#define THUNDERBOLT_WORKLOAD_SMALLBANK_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::workload {
+
+struct SmallBankConfig {
+  uint64_t num_accounts = 10000;
+  double theta = 0.85;          // Zipfian skew.
+  double read_ratio = 0.5;      // Pr: probability of GetBalance.
+  double cross_shard_ratio = 0; // P: fraction of cross-shard transactions.
+  uint32_t num_shards = 1;
+  storage::Value initial_checking = 10000;
+  storage::Value initial_savings = 10000;
+  uint64_t seed = 42;
+};
+
+class SmallBankWorkload {
+ public:
+  explicit SmallBankWorkload(SmallBankConfig config);
+
+  const SmallBankConfig& config() const { return config_; }
+
+  /// Seeds every account's checking and savings balance in `store`.
+  void InitStore(storage::MemKVStore* store) const;
+
+  /// Account name for global Zipfian rank `i` (rank 0 is hottest).
+  static std::string AccountName(uint64_t i);
+
+  /// Next transaction in the global mix (used by the CE benchmarks where
+  /// sharding is not involved).
+  txn::Transaction Next();
+
+  /// Next transaction homed at `shard`: single-shard transactions touch
+  /// only accounts of that shard; with probability cross_shard_ratio the
+  /// transaction instead spans `shard` and one other shard.
+  txn::Transaction NextForShard(ShardId shard);
+
+  /// Convenience batch generators.
+  std::vector<txn::Transaction> MakeBatch(size_t count);
+  std::vector<txn::Transaction> MakeShardBatch(ShardId shard, size_t count);
+
+  const txn::ShardMapper& mapper() const { return mapper_; }
+
+  /// Sum of all balances; conserved by every SmallBank mix that excludes
+  /// WriteCheck and failed sends (used by invariant tests).
+  storage::Value TotalBalance(const storage::MemKVStore& store) const;
+
+ private:
+  std::string SampleGlobalAccount();
+  std::string SampleShardAccount(ShardId shard);
+  txn::Transaction MakeGetBalance(std::string account);
+  txn::Transaction MakeSendPayment(std::string from, std::string to);
+
+  SmallBankConfig config_;
+  txn::ShardMapper mapper_;
+  Rng rng_;
+  ZipfianGenerator global_zipf_;
+  /// Accounts bucketed by shard, in global hotness order, so per-shard
+  /// sampling preserves the skew profile.
+  std::vector<std::vector<uint64_t>> shard_accounts_;
+  std::vector<ZipfianGenerator> shard_zipf_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace thunderbolt::workload
+
+#endif  // THUNDERBOLT_WORKLOAD_SMALLBANK_WORKLOAD_H_

@@ -1,0 +1,87 @@
+// Step-by-step reproduction of the paper's Table 1: transactions T1, T2,
+// T3 accessing key D, including the cascading abort at time 5, the stale
+// operation at time 9, and the final execution order {T1, T3, T2}.
+#include <gtest/gtest.h>
+
+#include "ce/concurrency_controller.h"
+#include "storage/kv_store.h"
+
+namespace thunderbolt::ce {
+namespace {
+
+TEST(CcTable1Test, FullScenario) {
+  storage::MemKVStore store;
+  store.Put("D", 3);  // Time 0: initial DB D = 3.
+
+  // Slots: 0 = T1, 1 = T2, 2 = T3 (paper numbering minus one).
+  ConcurrencyController cc(&store, 3);
+  std::vector<TxnSlot> abort_events;
+  cc.SetAbortCallback([&](TxnSlot s) { abort_events.push_back(s); });
+
+  uint32_t t1 = cc.Begin(0);
+  uint32_t t2 = cc.Begin(1);
+  uint32_t t3 = cc.Begin(2);
+
+  // Time 1: T1 writes D = 3.
+  ASSERT_TRUE(cc.Write(0, t1, "D", 3).ok());
+
+  // Time 2: T2 reads D from T1 (D = 3), creating T1 -> T2.
+  auto r2 = cc.Read(1, t2, "D");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 3);
+  EXPECT_TRUE(cc.HasEdge(0, 1));
+
+  // Time 3: T3 reads D from T1 (D = 3), creating T1 -> T3.
+  auto r3 = cc.Read(2, t3, "D");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, 3);
+  EXPECT_TRUE(cc.HasEdge(0, 2));
+
+  // Time 4: T3 tries to commit; it must wait for T1.
+  ASSERT_TRUE(cc.Finish(2, t3).ok());
+  EXPECT_EQ(cc.committed_count(), 0u);
+
+  // Time 5: T1 writes D = 5 again -> aborts T2 and T3 (cascading).
+  ASSERT_TRUE(cc.Write(0, t1, "D", 5).ok());
+  EXPECT_EQ(cc.total_aborts(), 2u);
+  EXPECT_EQ(abort_events.size(), 2u);
+
+  // Time 6: T3 re-executes and reads D = 5 from T1.
+  uint32_t t3b = cc.Begin(2);
+  auto r3b = cc.Read(2, t3b, "D");
+  ASSERT_TRUE(r3b.ok());
+  EXPECT_EQ(*r3b, 5);
+  EXPECT_TRUE(cc.HasEdge(0, 2));
+
+  // Time 7: T1 commits.
+  ASSERT_TRUE(cc.Finish(0, t1).ok());
+  EXPECT_EQ(cc.committed_count(), 1u);
+
+  // Time 8: T3 commits (its dependency is now committed).
+  ASSERT_TRUE(cc.Finish(2, t3b).ok());
+  EXPECT_EQ(cc.committed_count(), 2u);
+
+  // Time 9: T2's stale write (old incarnation) is invalid.
+  EXPECT_TRUE(cc.Write(1, t2, "D", 3).IsAborted());
+
+  // Time 10-11: T2 re-executes: reads D = 5 from T1, writes D = 2.
+  uint32_t t2b = cc.Begin(1);
+  auto r2b = cc.Read(1, t2b, "D");
+  ASSERT_TRUE(r2b.ok());
+  EXPECT_EQ(*r2b, 5);
+  ASSERT_TRUE(cc.Write(1, t2b, "D", 2).ok());
+
+  // Time 12: T2 commits. Execution order is {T1, T3, T2}.
+  ASSERT_TRUE(cc.Finish(1, t2b).ok());
+  EXPECT_TRUE(cc.AllCommitted());
+  EXPECT_EQ(cc.SerializationOrder(), (std::vector<TxnSlot>{0, 2, 1}));
+
+  // Final value of D follows the last writer in the order: T2's 2.
+  storage::WriteBatch batch = cc.FinalWrites();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.entries()[0].key, "D");
+  EXPECT_EQ(batch.entries()[0].value, 2);
+}
+
+}  // namespace
+}  // namespace thunderbolt::ce

@@ -1,0 +1,135 @@
+#include "ce/sim_executor_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/concurrency_controller.h"
+#include "contract/contract.h"
+#include "workload/smallbank_workload.h"
+
+namespace thunderbolt::ce {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  PoolTest() : registry_(contract::Registry::CreateDefault()) {}
+
+  std::vector<txn::Transaction> MakeBatch(size_t n, uint64_t seed,
+                                          double read_ratio = 0.5) {
+    workload::SmallBankConfig wc;
+    wc.num_accounts = 100;
+    wc.theta = 0.85;
+    wc.read_ratio = read_ratio;
+    wc.seed = seed;
+    workload::SmallBankWorkload w(wc);
+    w.InitStore(&store_);
+    return w.MakeBatch(n);
+  }
+
+  storage::MemKVStore store_;
+  std::shared_ptr<contract::Registry> registry_;
+};
+
+TEST_F(PoolTest, EmptyBatch) {
+  ConcurrencyController cc(&store_, 0);
+  SimExecutorPool pool(4, ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry_, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->records.size(), 0u);
+  EXPECT_EQ(r->duration, 0u);
+}
+
+TEST_F(PoolTest, ZeroExecutorsRejected) {
+  ConcurrencyController cc(&store_, 1);
+  SimExecutorPool pool(0, ExecutionCostModel{});
+  auto batch = MakeBatch(1, 11);
+  EXPECT_TRUE(pool.Run(cc, *registry_, batch).status().IsInvalidArgument());
+}
+
+TEST_F(PoolTest, AllTransactionsCommit) {
+  auto batch = MakeBatch(200, 12);
+  ConcurrencyController cc(&store_, 200);
+  SimExecutorPool pool(8, ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry_, batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order.size(), 200u);
+  EXPECT_EQ(r->records.size(), 200u);
+  // Every slot appears exactly once in the order.
+  std::vector<bool> seen(200, false);
+  for (TxnSlot s : r->order) {
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+  EXPECT_GT(r->duration, 0u);
+  EXPECT_EQ(r->commit_latency_us.Count(), 200u);
+}
+
+TEST_F(PoolTest, MoreExecutorsShortenMakespan) {
+  auto batch = MakeBatch(300, 13, /*read_ratio=*/0.9);  // Low conflict.
+  SimTime d1, d8;
+  {
+    storage::MemKVStore store = store_.Clone();
+    ConcurrencyController cc(&store, 300);
+    SimExecutorPool pool(1, ExecutionCostModel{});
+    auto r = pool.Run(cc, *registry_, batch);
+    ASSERT_TRUE(r.ok());
+    d1 = r->duration;
+  }
+  {
+    storage::MemKVStore store = store_.Clone();
+    ConcurrencyController cc(&store, 300);
+    SimExecutorPool pool(8, ExecutionCostModel{});
+    auto r = pool.Run(cc, *registry_, batch);
+    ASSERT_TRUE(r.ok());
+    d8 = r->duration;
+  }
+  // 8 executors should be markedly faster on a low-conflict batch.
+  EXPECT_LT(d8 * 3, d1);
+}
+
+TEST_F(PoolTest, StartTimeOffsetsClock) {
+  auto batch = MakeBatch(50, 14);
+  ConcurrencyController cc(&store_, 50);
+  SimExecutorPool pool(4, ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry_, batch, /*start_time=*/Seconds(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->start_time, Seconds(5));
+  EXPECT_GT(r->duration, 0u);
+  EXPECT_LT(r->duration, Seconds(1));  // Duration excludes the offset.
+}
+
+TEST_F(PoolTest, DeterministicAcrossRuns) {
+  auto batch = MakeBatch(250, 15);
+  SimTime durations[2];
+  uint64_t aborts[2];
+  for (int i = 0; i < 2; ++i) {
+    storage::MemKVStore store = store_.Clone();
+    ConcurrencyController cc(&store, 250);
+    SimExecutorPool pool(8, ExecutionCostModel{});
+    auto r = pool.Run(cc, *registry_, batch);
+    ASSERT_TRUE(r.ok());
+    durations[i] = r->duration;
+    aborts[i] = r->total_aborts;
+  }
+  EXPECT_EQ(durations[0], durations[1]);
+  EXPECT_EQ(aborts[0], aborts[1]);
+}
+
+TEST_F(PoolTest, ReportsReExecutions) {
+  // Update-only on a tiny hot set forces conflicts.
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 4;
+  wc.theta = 0.9;
+  wc.read_ratio = 0.0;
+  wc.seed = 16;
+  workload::SmallBankWorkload w(wc);
+  w.InitStore(&store_);
+  auto batch = w.MakeBatch(100);
+  ConcurrencyController cc(&store_, 100);
+  SimExecutorPool pool(8, ExecutionCostModel{});
+  auto r = pool.Run(cc, *registry_, batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->total_aborts, 0u);
+}
+
+}  // namespace
+}  // namespace thunderbolt::ce

@@ -1,0 +1,84 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace thunderbolt {
+namespace {
+
+// FIPS 180-4 known-answer tests.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Digest(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(Sha256::Digest(input).ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data =
+      "the quick brown fox jumps over the lazy dog multiple times";
+  Sha256 h;
+  for (char c : data) h.Update(&c, 1);
+  EXPECT_EQ(h.Finalize(), Sha256::Digest(data));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise the padding logic around the 55/56/64-byte boundaries.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string data(len, 'x');
+    Sha256 h;
+    h.Update(data.substr(0, len / 2));
+    h.Update(data.substr(len / 2));
+    EXPECT_EQ(h.Finalize(), Sha256::Digest(data)) << "len=" << len;
+  }
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  Hash256 d = Sha256::Digest("round trip");
+  EXPECT_EQ(Hash256::FromHex(d.ToHex()), d);
+}
+
+TEST(Hash256Test, ShortHexIsPrefix) {
+  Hash256 d = Sha256::Digest("prefix");
+  EXPECT_EQ(d.ToHex().substr(0, 8), d.ToShortHex());
+}
+
+TEST(Hash256Test, ZeroDetection) {
+  Hash256 zero{};
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(Sha256::Digest("x").IsZero());
+}
+
+TEST(Hash256Test, Prefix64Differs) {
+  EXPECT_NE(Sha256::Digest("a").Prefix64(), Sha256::Digest("b").Prefix64());
+}
+
+TEST(Hash256Test, UpdateIntLittleEndian) {
+  Sha256 a;
+  a.UpdateInt<uint32_t>(0x01020304);
+  uint8_t bytes[4] = {0x04, 0x03, 0x02, 0x01};
+  Sha256 b;
+  b.Update(bytes, 4);
+  EXPECT_EQ(a.Finalize(), b.Finalize());
+}
+
+}  // namespace
+}  // namespace thunderbolt

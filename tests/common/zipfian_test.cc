@@ -1,0 +1,112 @@
+#include "common/zipfian.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace thunderbolt {
+namespace {
+
+TEST(ZipfianTest, ValuesInRange) {
+  Rng rng(1);
+  ZipfianGenerator zipf(100, 0.85);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHotKeys) {
+  Rng rng(2);
+  ZipfianGenerator zipf(1000, 0.85);
+  std::vector<uint64_t> counts(1000, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng)];
+  // Rank 0 must be the hottest and carry a few percent of all draws.
+  uint64_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[0], max_count);
+  EXPECT_GT(counts[0], kSamples / 50);  // > 2%.
+  // The top 10% of keys should receive the majority of accesses.
+  uint64_t head = 0;
+  for (int i = 0; i < 100; ++i) head += counts[i];
+  EXPECT_GT(head, static_cast<uint64_t>(kSamples) / 2);
+}
+
+TEST(ZipfianTest, ThetaZeroIsRoughlyUniform) {
+  Rng rng(3);
+  ZipfianGenerator zipf(10, 0.0);
+  std::vector<uint64_t> counts(10, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng)];
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / 10.0, kSamples * 0.02);
+  }
+}
+
+TEST(ZipfianTest, HigherThetaMoreSkew) {
+  Rng rng1(4), rng2(4);
+  ZipfianGenerator low(1000, 0.5), high(1000, 0.95);
+  uint64_t low_head = 0, high_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (low.Next(rng1) == 0) ++low_head;
+    if (high.Next(rng2) == 0) ++high_head;
+  }
+  EXPECT_GT(high_head, low_head * 2);
+}
+
+TEST(RngTest, DeterministicAcrossSeeds) {
+  Rng a(99), b(99), c(100);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedAndRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+    uint64_t v = rng.NextRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.NextExponential(100.0);
+  EXPECT_NEAR(sum / 20000, 100.0, 5.0);
+}
+
+TEST(HistogramTest, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Median(), 50.5, 0.6);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace thunderbolt

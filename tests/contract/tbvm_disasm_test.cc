@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "contract/tbvm.h"
+
+namespace thunderbolt::contract {
+namespace {
+
+TEST(TbvmDisasmTest, InstructionForms) {
+  std::vector<std::string> suffixes = {"checking", "savings"};
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kLoadImm, 2, 0, 0, 42}, suffixes),
+            "loadimm r2, 42");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kLoadParam, 1, 0, 0, 3}, suffixes),
+            "loadparam r1, param[3]");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kAdd, 1, 2, 3}, suffixes),
+            "add r1, r2, r3");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kMakeKey, 0, 1, 1}, suffixes),
+            "makekey k0, account[1], \"savings\"");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kRead, 4, 2, 0}, suffixes),
+            "read r4, [k2]");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kWrite, 1, 5, 0}, suffixes),
+            "write [k1], r5");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kJlt, 0, 1, 0, 9}, suffixes),
+            "jlt r0, r1, 9");
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kHalt, 0, 0, 0}, suffixes), "halt");
+}
+
+TEST(TbvmDisasmTest, OutOfRangeSuffixIsMarked) {
+  EXPECT_EQ(Disassemble(TbInstr{TbOp::kMakeKey, 0, 0, 7}, {}),
+            "makekey k0, account[0], <suffix 7>");
+}
+
+TEST(TbvmDisasmTest, WholeProgramNumbersLines) {
+  TbProgram p;
+  p.suffixes = {"x"};
+  p.code = {
+      {TbOp::kLoadImm, 0, 0, 0, 1},
+      {TbOp::kEmit, 0, 0, 0},
+      {TbOp::kHalt, 0, 0, 0},
+  };
+  EXPECT_EQ(Disassemble(p), "0: loadimm r0, 1\n1: emit r0\n2: halt\n");
+}
+
+TEST(TbvmDisasmTest, SmallBankProgramsDisassembleCleanly) {
+  auto registry = Registry::CreateDefault();
+  for (const char* name : {"tbvm.get_balance", "tbvm.send_payment",
+                           "tbvm.write_check", "tbvm.amalgamate"}) {
+    const auto* contract =
+        dynamic_cast<const TbvmContract*>(registry->Lookup(name));
+    ASSERT_NE(contract, nullptr) << name;
+    std::string disasm = Disassemble(contract->program());
+    EXPECT_NE(disasm.find("halt"), std::string::npos) << name;
+    EXPECT_EQ(disasm.find("<bad op>"), std::string::npos) << name;
+    EXPECT_EQ(disasm.find("<suffix"), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace thunderbolt::contract

@@ -1,0 +1,170 @@
+// End-to-end integration tests for the simulated Thunderbolt cluster:
+// liveness, state convergence, balance conservation, the Tusk and
+// Thunderbolt-OCC modes, cross-shard handling, failures, and non-blocking
+// reconfiguration.
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace thunderbolt::core {
+namespace {
+
+ThunderboltConfig SmallConfig(uint32_t n = 4) {
+  ThunderboltConfig cfg;
+  cfg.n = n;
+  cfg.batch_size = 50;
+  cfg.num_executors = 4;
+  cfg.num_validators = 4;
+  cfg.proposal_prep_cost = Millis(5);
+  cfg.leader_timeout = Millis(200);
+  cfg.seed = 11;
+  return cfg;
+}
+
+workload::SmallBankConfig SmallWorkload() {
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 400;
+  wc.theta = 0.85;
+  wc.read_ratio = 0.5;
+  wc.seed = 12;
+  return wc;
+}
+
+TEST(ClusterTest, CommitsSingleShardTransactions) {
+  Cluster cluster(SmallConfig(), SmallWorkload());
+  ClusterResult r = cluster.Run(Seconds(5));
+  EXPECT_GT(r.committed_single, 500u);
+  EXPECT_EQ(r.invalid_blocks, 0u);
+  EXPECT_GT(r.throughput_tps, 100.0);
+  EXPECT_GT(r.avg_latency_s, 0.0);
+  EXPECT_LT(r.avg_latency_s, 5.0);
+}
+
+TEST(ClusterTest, BalancesConserved) {
+  // Pr=0.5 mix of GetBalance and SendPayment conserves total balance.
+  auto wc = SmallWorkload();
+  Cluster cluster(SmallConfig(), wc);
+  cluster.Run(Seconds(5));
+  storage::Value expected =
+      static_cast<storage::Value>(wc.num_accounts) *
+      (wc.initial_checking + wc.initial_savings);
+  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
+            expected);
+}
+
+TEST(ClusterTest, CrossShardTransactionsCommit) {
+  auto wc = SmallWorkload();
+  wc.cross_shard_ratio = 0.2;
+  Cluster cluster(SmallConfig(), wc);
+  ClusterResult r = cluster.Run(Seconds(5));
+  EXPECT_GT(r.committed_cross, 50u);
+  EXPECT_GT(r.committed_single, 50u);
+  storage::Value expected =
+      static_cast<storage::Value>(wc.num_accounts) *
+      (wc.initial_checking + wc.initial_savings);
+  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
+            expected);
+}
+
+TEST(ClusterTest, AllCrossShard) {
+  auto wc = SmallWorkload();
+  wc.cross_shard_ratio = 1.0;
+  Cluster cluster(SmallConfig(), wc);
+  ClusterResult r = cluster.Run(Seconds(5));
+  EXPECT_EQ(r.committed_single, 0u);
+  EXPECT_GT(r.committed_cross, 200u);
+}
+
+TEST(ClusterTest, TuskModeCommitsSerially) {
+  auto cfg = SmallConfig();
+  cfg.mode = ExecutionMode::kTusk;
+  Cluster cluster(cfg, SmallWorkload());
+  ClusterResult r = cluster.Run(Seconds(5));
+  EXPECT_EQ(r.committed_single, 0u);  // Everything is raw/ordered.
+  EXPECT_GT(r.committed_cross, 200u);
+  storage::Value expected =
+      static_cast<storage::Value>(SmallWorkload().num_accounts) *
+      (SmallWorkload().initial_checking + SmallWorkload().initial_savings);
+  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
+            expected);
+}
+
+TEST(ClusterTest, ThunderboltOccMode) {
+  auto cfg = SmallConfig();
+  cfg.mode = ExecutionMode::kThunderboltOcc;
+  Cluster cluster(cfg, SmallWorkload());
+  ClusterResult r = cluster.Run(Seconds(5));
+  EXPECT_GT(r.committed_single, 500u);
+  EXPECT_EQ(r.invalid_blocks, 0u);
+}
+
+TEST(ClusterTest, SurvivesFCrashedReplicas) {
+  auto cfg = SmallConfig(7);  // f = 2.
+  Cluster cluster(cfg, SmallWorkload());
+  cluster.CrashReplicaAt(5, Millis(500));
+  cluster.CrashReplicaAt(6, Millis(500));
+  ClusterResult r = cluster.Run(Seconds(6));
+  EXPECT_GT(r.committed_single, 300u);
+}
+
+TEST(ClusterTest, PeriodicReconfigurationRotatesShards) {
+  auto cfg = SmallConfig();
+  cfg.reconfig_period_k_prime = 6;
+  Cluster cluster(cfg, SmallWorkload());
+  ClusterResult r = cluster.Run(Seconds(8));
+  EXPECT_GE(r.reconfigurations, 1u);
+  EXPECT_GT(r.shift_blocks, 0u);
+  // Shard ownership rotated: replica 0 no longer owns shard 0.
+  EXPECT_EQ(cluster.node(0).owned_shard(),
+            ThunderboltNode::ShardOwnedBy(0, cluster.node(0).epoch(), 4));
+  EXPECT_GT(cluster.node(0).epoch(), 0u);
+  // The system keeps committing across reconfigurations (non-blocking).
+  EXPECT_GT(r.committed_single, 300u);
+}
+
+TEST(ClusterTest, SilenceTriggersReconfiguration) {
+  auto cfg = SmallConfig();
+  cfg.silence_rounds_k = 6;
+  Cluster cluster(cfg, SmallWorkload());
+  cluster.CrashReplicaAt(3, Millis(300));
+  ClusterResult r = cluster.Run(Seconds(8));
+  // The silent proposer triggers Shift blocks and a DAG switch.
+  EXPECT_GE(r.reconfigurations, 1u);
+  EXPECT_GT(r.committed_single, 100u);
+}
+
+TEST(ClusterTest, DeterministicGivenSeed) {
+  uint64_t fp[2];
+  uint64_t committed[2];
+  for (int i = 0; i < 2; ++i) {
+    Cluster cluster(SmallConfig(), SmallWorkload());
+    ClusterResult r = cluster.Run(Seconds(3));
+    fp[i] = cluster.canonical_state().ContentFingerprint();
+    committed[i] = r.committed_single + r.committed_cross;
+  }
+  EXPECT_EQ(fp[0], fp[1]);
+  EXPECT_EQ(committed[0], committed[1]);
+}
+
+TEST(ClusterTest, RepeatedRunWindowsAccumulate) {
+  Cluster cluster(SmallConfig(), SmallWorkload());
+  ClusterResult r1 = cluster.Run(Seconds(2));
+  ClusterResult r2 = cluster.Run(Seconds(2));
+  EXPECT_GT(r1.committed_single, 0u);
+  EXPECT_GT(r2.committed_single, 0u);
+  EXPECT_EQ(cluster.simulator().Now(), Seconds(4));
+}
+
+TEST(ClusterTest, LargerClusterScalesThroughput) {
+  auto wc = SmallWorkload();
+  wc.num_accounts = 1600;
+  Cluster small(SmallConfig(4), wc);
+  Cluster large(SmallConfig(8), wc);
+  ClusterResult rs = small.Run(Seconds(5));
+  ClusterResult rl = large.Run(Seconds(5));
+  // More shards -> more parallel preplay -> higher total throughput.
+  EXPECT_GT(rl.committed_single, rs.committed_single);
+}
+
+}  // namespace
+}  // namespace thunderbolt::core

@@ -1,0 +1,99 @@
+#include "core/payload.h"
+
+#include <gtest/gtest.h>
+
+namespace thunderbolt::core {
+namespace {
+
+ThunderboltPayload MakePayload() {
+  ThunderboltPayload p;
+  p.kind = PayloadKind::kNormal;
+  p.shard = 3;
+  PreplayedTxn t;
+  t.tx.id = 7;
+  t.tx.contract = "smallbank.send_payment";
+  t.tx.accounts = {"a", "b"};
+  t.tx.params = {5};
+  t.rw_set.reads.push_back({txn::OpType::kRead, "a/checking", 100});
+  t.rw_set.writes.push_back({txn::OpType::kWrite, "a/checking", 95});
+  t.emitted = {1};
+  p.preplayed.push_back(t);
+  txn::Transaction cross;
+  cross.id = 8;
+  cross.contract = "smallbank.send_payment";
+  cross.accounts = {"c", "d"};
+  cross.params = {2};
+  p.cross_shard.push_back(cross);
+  return p;
+}
+
+TEST(PayloadTest, DigestIsDeterministic) {
+  EXPECT_EQ(MakePayload().ContentDigest(), MakePayload().ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversKind) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.kind = PayloadKind::kSkip;
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversShard) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.shard = 4;
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversDeclaredReads) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.preplayed[0].rw_set.reads[0].value += 1;  // Tampered read value.
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversDeclaredWrites) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.preplayed[0].rw_set.writes[0].value += 1;
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversEmittedResults) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.preplayed[0].emitted[0] = 0;
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversCrossSection) {
+  ThunderboltPayload a = MakePayload();
+  ThunderboltPayload b = MakePayload();
+  b.cross_shard[0].params[0] += 1;
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, DigestCoversScheduleOrder) {
+  ThunderboltPayload a = MakePayload();
+  PreplayedTxn second = a.preplayed[0];
+  second.tx.id = 9;
+  a.preplayed.push_back(second);
+  ThunderboltPayload b = a;
+  std::swap(b.preplayed[0], b.preplayed[1]);
+  // Copies share no digest cache; order matters.
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PayloadTest, SizeGrowsWithContent) {
+  ThunderboltPayload empty;
+  ThunderboltPayload loaded = MakePayload();
+  EXPECT_GT(loaded.SizeBytes(), empty.SizeBytes());
+  ThunderboltPayload bigger = MakePayload();
+  for (int i = 0; i < 100; ++i) {
+    bigger.cross_shard.push_back(bigger.cross_shard[0]);
+  }
+  EXPECT_GT(bigger.SizeBytes(), loaded.SizeBytes() + 100 * 100);
+}
+
+}  // namespace
+}  // namespace thunderbolt::core

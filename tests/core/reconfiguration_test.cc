@@ -1,0 +1,152 @@
+// Non-blocking reconfiguration (paper section 6): Shift-block conditions,
+// round-robin shard rotation, liveness across DAG switches, and safety
+// (deterministic state) across epochs. Mirrors the Figure 6 scenario.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace thunderbolt::core {
+namespace {
+
+TEST(ReconfigurationTest, ShardRotationIsRoundRobin) {
+  // Shard owned by replica i in epoch e is (i + e) mod n — the paper's
+  // "subsequent proposer of shard X is R_(i mod n)+1" seen from the
+  // replica's perspective.
+  EXPECT_EQ(ThunderboltNode::ShardOwnedBy(0, 0, 4), 0u);
+  EXPECT_EQ(ThunderboltNode::ShardOwnedBy(0, 1, 4), 1u);
+  EXPECT_EQ(ThunderboltNode::ShardOwnedBy(3, 1, 4), 0u);
+  EXPECT_EQ(ThunderboltNode::ShardOwnedBy(2, 6, 4), 0u);
+  // Every epoch the mapping is a permutation.
+  for (EpochId e = 0; e < 5; ++e) {
+    std::set<ShardId> owned;
+    for (ReplicaId i = 0; i < 7; ++i) {
+      owned.insert(ThunderboltNode::ShardOwnedBy(i, e, 7));
+    }
+    EXPECT_EQ(owned.size(), 7u);
+  }
+}
+
+ThunderboltConfig Config(Round k_prime) {
+  ThunderboltConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 60;
+  cfg.proposal_prep_cost = Millis(5);
+  cfg.reconfig_period_k_prime = k_prime;
+  cfg.seed = 401;
+  return cfg;
+}
+
+workload::SmallBankConfig Workload() {
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 500;
+  wc.seed = 402;
+  return wc;
+}
+
+TEST(ReconfigurationTest, DisabledByDefault) {
+  Cluster cluster(Config(0), Workload());
+  ClusterResult r = cluster.Run(Seconds(6));
+  EXPECT_EQ(r.reconfigurations, 0u);
+  EXPECT_EQ(r.shift_blocks, 0u);
+  EXPECT_EQ(cluster.node(0).epoch(), 0u);
+}
+
+TEST(ReconfigurationTest, PeriodicRotationAdvancesEpochs) {
+  Cluster cluster(Config(8), Workload());
+  ClusterResult r = cluster.Run(Seconds(8));
+  EXPECT_GE(r.reconfigurations, 2u);
+  // All replicas agree on the epoch (they all saw the same ending commit).
+  EpochId epoch = cluster.node(0).epoch();
+  EXPECT_GT(epoch, 0u);
+  for (ReplicaId i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).epoch(), epoch) << "replica " << i;
+    EXPECT_EQ(cluster.node(i).owned_shard(),
+              ThunderboltNode::ShardOwnedBy(i, epoch, 4));
+  }
+  // Every epoch requires 2f+1 = 3 committed Shift blocks.
+  EXPECT_GE(r.shift_blocks, 3 * r.reconfigurations);
+}
+
+TEST(ReconfigurationTest, NonBlockingCommitsKeepFlowing) {
+  Cluster cluster(Config(8), Workload());
+  ClusterResult r = cluster.Run(Seconds(8));
+  ASSERT_GE(r.reconfigurations, 2u);
+  ASSERT_GT(r.commit_times.size(), 20u);
+  // No commit gap dramatically larger than the typical cadence: the DAG
+  // switch must not stall the pipeline (paper Figure 16).
+  std::vector<double> gaps;
+  for (size_t i = 1; i < r.commit_times.size(); ++i) {
+    gaps.push_back(ToSeconds(r.commit_times[i].second) -
+                   ToSeconds(r.commit_times[i - 1].second));
+  }
+  std::vector<double> sorted = gaps;
+  std::sort(sorted.begin(), sorted.end());
+  double median = sorted[sorted.size() / 2];
+  double worst = sorted.back();
+  EXPECT_LT(worst, 20 * median + 1.0)
+      << "a reconfiguration stalled the commit pipeline";
+}
+
+TEST(ReconfigurationTest, BalancesConservedAcrossEpochs) {
+  auto wc = Workload();
+  wc.cross_shard_ratio = 0.1;
+  Cluster cluster(Config(10), wc);
+  cluster.Run(Seconds(8));
+  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
+            static_cast<storage::Value>(wc.num_accounts) *
+                (wc.initial_checking + wc.initial_savings));
+}
+
+TEST(ReconfigurationTest, DeterministicAcrossRuns) {
+  uint64_t fp[2];
+  uint64_t reconfigs[2];
+  for (int i = 0; i < 2; ++i) {
+    Cluster cluster(Config(8), Workload());
+    ClusterResult r = cluster.Run(Seconds(6));
+    fp[i] = cluster.canonical_state().ContentFingerprint();
+    reconfigs[i] = r.reconfigurations;
+  }
+  EXPECT_EQ(fp[0], fp[1]);
+  EXPECT_EQ(reconfigs[0], reconfigs[1]);
+}
+
+// Figure 6 scenario: a proposer goes silent (censorship); honest replicas
+// emit Shift blocks after K rounds of silence and rotate its shard to a
+// live replica; the f+1 observation condition spreads the shift.
+TEST(ReconfigurationTest, SilenceRotatesVictimShard) {
+  auto cfg = Config(0);
+  cfg.silence_rounds_k = 5;
+  Cluster cluster(cfg, Workload());
+  cluster.CrashReplicaAt(2, Millis(200));
+  ClusterResult r = cluster.Run(Seconds(8));
+  ASSERT_GE(r.reconfigurations, 1u);
+  // After rotation, shard 2 (the crashed replica's original shard) is
+  // owned by a live replica — except in epochs that are a multiple of n,
+  // where round-robin cycles back to the victim (and silence detection
+  // will rotate again).
+  EpochId epoch = cluster.node(0).epoch();
+  ASSERT_GT(epoch, 0u);
+  if (epoch % 4 != 0) {
+    ReplicaId new_owner = 0;
+    for (ReplicaId i = 0; i < 4; ++i) {
+      if (ThunderboltNode::ShardOwnedBy(i, epoch, 4) == 2u) new_owner = i;
+    }
+    EXPECT_NE(new_owner, 2u);
+  }
+  // Work continued after the rotation.
+  EXPECT_GT(r.committed_single, 100u);
+}
+
+TEST(ReconfigurationTest, FrequentRotationCostsThroughput) {
+  // Figure 15's shape: very small K' discards more uncommitted tails.
+  Cluster fast(Config(6), Workload());
+  Cluster slow(Config(200), Workload());
+  ClusterResult rf = fast.Run(Seconds(8));
+  ClusterResult rs = slow.Run(Seconds(8));
+  EXPECT_GT(rf.reconfigurations, rs.reconfigurations);
+  EXPECT_LT(rf.committed_single + rf.committed_cross,
+            rs.committed_single + rs.committed_cross);
+}
+
+}  // namespace
+}  // namespace thunderbolt::core

@@ -1,0 +1,113 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace thunderbolt::crypto {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  SignatureTest() : dir_(KeyDirectory::Create(4, 99)) {}
+  KeyDirectory dir_;
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  Hash256 digest = Sha256::Digest("message");
+  Signature sig = dir_.key(1).Sign(digest);
+  EXPECT_EQ(sig.signer, 1u);
+  EXPECT_TRUE(dir_.Verify(digest, sig));
+}
+
+TEST_F(SignatureTest, WrongMessageFails) {
+  Signature sig = dir_.key(1).Sign(Sha256::Digest("message"));
+  EXPECT_FALSE(dir_.Verify(Sha256::Digest("other"), sig));
+}
+
+TEST_F(SignatureTest, ForgedSignerFails) {
+  Hash256 digest = Sha256::Digest("message");
+  Signature sig = dir_.key(1).Sign(digest);
+  sig.signer = 2;  // Claim another identity.
+  EXPECT_FALSE(dir_.Verify(digest, sig));
+}
+
+TEST_F(SignatureTest, TamperedMacFails) {
+  Hash256 digest = Sha256::Digest("message");
+  Signature sig = dir_.key(0).Sign(digest);
+  sig.mac.bytes[0] ^= 1;
+  EXPECT_FALSE(dir_.Verify(digest, sig));
+}
+
+TEST_F(SignatureTest, UnknownSignerFails) {
+  Hash256 digest = Sha256::Digest("message");
+  Signature sig = dir_.key(0).Sign(digest);
+  sig.signer = 42;
+  EXPECT_FALSE(dir_.Verify(digest, sig));
+}
+
+TEST_F(SignatureTest, KeysAreDeterministicPerSeed) {
+  KeyDirectory again = KeyDirectory::Create(4, 99);
+  KeyDirectory other = KeyDirectory::Create(4, 100);
+  EXPECT_EQ(dir_.key(2).secret(), again.key(2).secret());
+  EXPECT_NE(dir_.key(2).secret(), other.key(2).secret());
+}
+
+class QuorumTest : public ::testing::Test {
+ protected:
+  QuorumTest() : dir_(KeyDirectory::Create(4, 7)) {
+    digest_ = Sha256::Digest("block");
+  }
+
+  QuorumCert MakeCert(std::vector<ReplicaId> signers) {
+    QuorumCert qc;
+    qc.digest = digest_;
+    for (ReplicaId id : signers) {
+      qc.signatures.push_back(dir_.key(id).Sign(digest_));
+    }
+    return qc;
+  }
+
+  KeyDirectory dir_;
+  Hash256 digest_;
+};
+
+TEST_F(QuorumTest, ValidQuorum) {
+  // n=4 -> f=1 -> 2f+1 = 3.
+  EXPECT_TRUE(MakeCert({0, 1, 2}).Validate(dir_, 4).ok());
+  EXPECT_TRUE(MakeCert({0, 1, 2, 3}).Validate(dir_, 4).ok());
+}
+
+TEST_F(QuorumTest, TooFewSignatures) {
+  EXPECT_TRUE(MakeCert({0, 1}).Validate(dir_, 4).IsCorruption());
+}
+
+TEST_F(QuorumTest, DuplicateSignerRejected) {
+  QuorumCert qc = MakeCert({0, 1});
+  qc.signatures.push_back(dir_.key(1).Sign(digest_));
+  EXPECT_TRUE(qc.Validate(dir_, 4).IsCorruption());
+}
+
+TEST_F(QuorumTest, BadSignatureRejected) {
+  QuorumCert qc = MakeCert({0, 1, 2});
+  qc.signatures[1].mac.bytes[5] ^= 0xff;
+  EXPECT_TRUE(qc.Validate(dir_, 4).IsCorruption());
+}
+
+TEST_F(QuorumTest, ContainsChecksSigners) {
+  QuorumCert qc = MakeCert({0, 2, 3});
+  EXPECT_TRUE(qc.Contains(0));
+  EXPECT_FALSE(qc.Contains(1));
+}
+
+TEST(QuorumMathTest, Thresholds) {
+  EXPECT_EQ(MaxFaults(4), 1u);
+  EXPECT_EQ(QuorumSize(4), 3u);
+  EXPECT_EQ(WeakQuorumSize(4), 2u);
+  EXPECT_EQ(MaxFaults(16), 5u);
+  EXPECT_EQ(QuorumSize(16), 11u);
+  EXPECT_EQ(MaxFaults(64), 21u);
+  EXPECT_EQ(QuorumSize(64), 43u);
+  EXPECT_EQ(WeakQuorumSize(64), 22u);
+}
+
+}  // namespace
+}  // namespace thunderbolt::crypto

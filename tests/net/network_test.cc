@@ -1,0 +1,138 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/simulator.h"
+
+namespace thunderbolt::net {
+namespace {
+
+struct TestMsg final : public Payload {
+  explicit TestMsg(int v, uint64_t size = 256) : value(v), size_(size) {}
+  int value;
+  uint64_t SizeBytes() const override { return size_; }
+
+ private:
+  uint64_t size_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_, 4, LatencyModel::Lan(), 1) {}
+
+  void Register(ReplicaId id) {
+    net_.RegisterHandler(id, [this, id](ReplicaId from,
+                                        const PayloadPtr& payload) {
+      auto* msg = dynamic_cast<const TestMsg*>(payload.get());
+      received[id].emplace_back(from, msg ? msg->value : -1);
+    });
+  }
+
+  sim::Simulator sim_;
+  SimNetwork net_;
+  std::map<ReplicaId, std::vector<std::pair<ReplicaId, int>>> received;
+};
+
+TEST_F(NetworkTest, PointToPointDelivery) {
+  Register(1);
+  net_.Send(0, 1, std::make_shared<TestMsg>(42));
+  sim_.RunAll();
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(received[1][0], std::make_pair(ReplicaId{0}, 42));
+  EXPECT_GE(sim_.Now(), Micros(200));  // At least the base latency.
+}
+
+TEST_F(NetworkTest, BroadcastIncludesSelf) {
+  for (ReplicaId id = 0; id < 4; ++id) Register(id);
+  net_.Broadcast(2, std::make_shared<TestMsg>(7));
+  sim_.RunAll();
+  for (ReplicaId id = 0; id < 4; ++id) {
+    ASSERT_EQ(received[id].size(), 1u) << "replica " << id;
+    EXPECT_EQ(received[id][0].second, 7);
+  }
+  EXPECT_EQ(net_.messages_delivered(), 4u);
+}
+
+TEST_F(NetworkTest, LoopbackIsFast) {
+  Register(0);
+  net_.Send(0, 0, std::make_shared<TestMsg>(1));
+  sim_.RunAll();
+  EXPECT_EQ(sim_.Now(), Micros(5));
+}
+
+TEST_F(NetworkTest, CrashedReplicaDropsBothDirections) {
+  Register(0);
+  Register(1);
+  net_.Crash(1);
+  net_.Send(0, 1, std::make_shared<TestMsg>(1));  // To crashed.
+  net_.Send(1, 0, std::make_shared<TestMsg>(2));  // From crashed.
+  sim_.RunAll();
+  EXPECT_TRUE(received[0].empty());
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(net_.messages_dropped(), 2u);
+  net_.Restart(1);
+  net_.Send(0, 1, std::make_shared<TestMsg>(3));
+  sim_.RunAll();
+  EXPECT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightDrops) {
+  Register(1);
+  net_.Send(0, 1, std::make_shared<TestMsg>(9));
+  net_.Crash(1);  // Before delivery event fires.
+  sim_.RunAll();
+  EXPECT_TRUE(received[1].empty());
+}
+
+TEST_F(NetworkTest, LinkCutIsDirectional) {
+  Register(0);
+  Register(1);
+  net_.SetLink(0, 1, false);
+  net_.Send(0, 1, std::make_shared<TestMsg>(1));
+  net_.Send(1, 0, std::make_shared<TestMsg>(2));
+  sim_.RunAll();
+  EXPECT_TRUE(received[1].empty());
+  ASSERT_EQ(received[0].size(), 1u);
+}
+
+TEST_F(NetworkTest, BandwidthSerializesLargeSends) {
+  Register(1);
+  Register(2);
+  // Two 30 KB messages: the second waits for the first on the sender NIC.
+  net_.Send(0, 1, std::make_shared<TestMsg>(1, 30000));
+  net_.Send(0, 2, std::make_shared<TestMsg>(2, 30000));
+  sim_.RunAll();
+  // tx_time = 30000 / 300 B/us = 100 us each; second delivery >= 200 us
+  // of NIC time plus propagation.
+  EXPECT_GE(sim_.Now(), Micros(400));
+}
+
+TEST_F(NetworkTest, WanSlowerThanLan) {
+  sim::Simulator sim2;
+  SimNetwork wan(&sim2, 2, LatencyModel::Wan(), 1);
+  SimTime lan_arrival = 0, wan_arrival = 0;
+  net_.RegisterHandler(1, [&](ReplicaId, const PayloadPtr&) {
+    lan_arrival = sim_.Now();
+  });
+  wan.RegisterHandler(1, [&](ReplicaId, const PayloadPtr&) {
+    wan_arrival = sim2.Now();
+  });
+  net_.Send(0, 1, std::make_shared<TestMsg>(1));
+  wan.Send(0, 1, std::make_shared<TestMsg>(1));
+  sim_.RunAll();
+  sim2.RunAll();
+  EXPECT_GT(wan_arrival, lan_arrival * 50);
+}
+
+TEST(LatencyModelTest, SampleBounds) {
+  Rng rng(4);
+  LatencyModel lan = LatencyModel::Lan();
+  for (int i = 0; i < 1000; ++i) {
+    SimTime d = lan.SamplePropagation(rng);
+    EXPECT_GE(d, lan.base);
+    EXPECT_LE(d, lan.base + 10 * lan.jitter_mean);
+  }
+}
+
+}  // namespace
+}  // namespace thunderbolt::net

@@ -1,0 +1,79 @@
+#include "storage/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace thunderbolt::storage {
+namespace {
+
+TEST(MemKVStoreTest, GetMissingIsNotFound) {
+  MemKVStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  EXPECT_EQ(store.GetOrDefault("nope", 7), 7);
+}
+
+TEST(MemKVStoreTest, PutBumpsVersion) {
+  MemKVStore store;
+  ASSERT_TRUE(store.Put("k", 1).ok());
+  auto v1 = store.Get("k");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->value, 1);
+  EXPECT_EQ(v1->version, 1u);
+  ASSERT_TRUE(store.Put("k", 2).ok());
+  auto v2 = store.Get("k");
+  EXPECT_EQ(v2->value, 2);
+  EXPECT_EQ(v2->version, 2u);
+}
+
+TEST(MemKVStoreTest, WriteBatchAtomicallyApplies) {
+  MemKVStore store;
+  WriteBatch batch;
+  batch.Put("a", 1);
+  batch.Put("b", 2);
+  batch.Put("a", 3);  // Later entry wins.
+  ASSERT_TRUE(store.Write(batch).ok());
+  EXPECT_EQ(store.GetOrDefault("a", 0), 3);
+  EXPECT_EQ(store.GetOrDefault("b", 0), 2);
+  EXPECT_EQ(store.size(), 2u);
+  // "a" was written twice within the batch: version 2.
+  EXPECT_EQ(store.Get("a")->version, 2u);
+}
+
+TEST(MemKVStoreTest, CloneIsIndependent) {
+  MemKVStore store;
+  store.Put("x", 10);
+  MemKVStore copy = store.Clone();
+  copy.Put("x", 20);
+  EXPECT_EQ(store.GetOrDefault("x", 0), 10);
+  EXPECT_EQ(copy.GetOrDefault("x", 0), 20);
+}
+
+TEST(MemKVStoreTest, FingerprintDetectsDivergence) {
+  MemKVStore a, b;
+  a.Put("k1", 1);
+  a.Put("k2", 2);
+  b.Put("k2", 2);
+  b.Put("k1", 1);
+  // Insertion order must not matter.
+  EXPECT_EQ(a.ContentFingerprint(), b.ContentFingerprint());
+  b.Put("k1", 9);
+  EXPECT_NE(a.ContentFingerprint(), b.ContentFingerprint());
+}
+
+TEST(MemKVStoreTest, EmptyBatchIsNoop) {
+  MemKVStore store;
+  WriteBatch batch;
+  EXPECT_TRUE(batch.empty());
+  ASSERT_TRUE(store.Write(batch).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(WriteBatchTest, ClearResets) {
+  WriteBatch batch;
+  batch.Put("a", 1);
+  EXPECT_EQ(batch.size(), 1u);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace thunderbolt::storage
