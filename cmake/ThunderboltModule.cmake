@@ -1,0 +1,60 @@
+# Helpers that keep the per-module target definitions in src/, tests/ and
+# bench/ down to one call each.
+
+# thunderbolt_add_module(<name> SOURCES <src>... [DEPS <module>...])
+#
+# Defines static library thunderbolt_<name> (alias thunderbolt::<name>)
+# whose public include root is src/, so sources keep their canonical
+# `#include "module/header.h"` form. DEPS name sibling modules and are
+# linked PUBLIC so dependency edges propagate to test and bench binaries.
+function(thunderbolt_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target thunderbolt_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(thunderbolt::${name} ALIAS ${target})
+  target_include_directories(${target} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(${target} PRIVATE thunderbolt::build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PUBLIC thunderbolt::${dep})
+  endforeach()
+endfunction()
+
+# thunderbolt_add_test(<name> SOURCES <src>... DEPS <module>...
+#                      [LABELS <label>...])
+#
+# Defines a GoogleTest binary, links the named modules plus the shared
+# tests/testutil helper library, and registers every TEST() in it with
+# CTest via gtest_discover_tests. LABELS (default: unit) become CTest
+# labels, so `ctest -L property` runs just the property suites.
+function(thunderbolt_add_test name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS;LABELS" ${ARGN})
+  if(NOT ARG_LABELS)
+    set(ARG_LABELS unit)
+  endif()
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE
+    thunderbolt::testutil
+    thunderbolt::build_flags
+    GTest::gtest_main)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${name} PRIVATE thunderbolt::${dep})
+  endforeach()
+  gtest_discover_tests(${name}
+    PROPERTIES LABELS "${ARG_LABELS}"
+    DISCOVERY_TIMEOUT 60)
+endfunction()
+
+# thunderbolt_add_program(<name> SOURCES <src>... DEPS <module>...)
+#
+# A plain executable (benchmark or example) linked against the named
+# modules. Bench sources include "bench/bench_util.h" relative to the
+# repo root, so that directory is added too.
+function(thunderbolt_add_program name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR})
+  target_link_libraries(${name} PRIVATE thunderbolt::build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${name} PRIVATE thunderbolt::${dep})
+  endforeach()
+endfunction()

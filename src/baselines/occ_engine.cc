@@ -76,8 +76,11 @@ Status OccEngine::Finish(TxnSlot slot, uint32_t incarnation) {
   // Central verifier: every read must still carry the version it observed.
   for (const auto& [key, entry] : s.reads) {
     if (Current(key).version != entry.version) {
+      // Build the status before SelfAbort: it clears s.reads, which would
+      // leave `key` dangling.
+      Status failed = Status::Aborted("occ: validation failed on key " + key);
       SelfAbort(slot);
-      return Status::Aborted("occ: validation failed on key " + key);
+      return failed;
     }
   }
   // Commit: install writes with bumped versions.

@@ -9,6 +9,7 @@
 #include "ce/concurrency_controller.h"
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::baselines {
@@ -140,14 +141,9 @@ class EngineEquivalenceTest : public ::testing::TestWithParam<EngineParam> {};
 
 TEST_P(EngineEquivalenceTest, OutcomeIsSerializable) {
   const EngineParam p = GetParam();
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 200;
-  wc.theta = p.theta;
-  wc.read_ratio = p.read_ratio;
-  wc.seed = p.seed;
-  workload::SmallBankWorkload w(wc);
   storage::MemKVStore store;
-  w.InitStore(&store);
+  workload::SmallBankWorkload w = testutil::MakeSmallBank(
+      &store, /*num_accounts=*/200, p.seed, p.read_ratio, p.theta);
   storage::MemKVStore serial_store = store.Clone();
   auto batch = w.MakeBatch(300);
   auto registry = contract::Registry::CreateDefault();
@@ -198,15 +194,11 @@ INSTANTIATE_TEST_SUITE_P(
 // CE should abort less than OCC, which should abort less than 2PL-No-Wait
 // on high-contention update-heavy workloads (the paper's Figure 11 claim).
 TEST(AbortRateOrderingTest, CcLowestAborts) {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 1000;
-  wc.theta = 0.85;
-  wc.read_ratio = 0.0;
-  wc.seed = 31;
-  workload::SmallBankWorkload w(wc);
   storage::MemKVStore base;
-  w.InitStore(&base);
-  auto batch = w.MakeBatch(500);
+  auto batch = testutil::MakeSmallBankBatch(
+      &base, 500,
+      testutil::SmallBankTestConfig(/*num_accounts=*/1000, /*seed=*/31,
+                                    /*read_ratio=*/0.0));
   auto registry = contract::Registry::CreateDefault();
 
   uint64_t aborts[3];

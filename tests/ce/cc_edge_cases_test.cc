@@ -6,18 +6,15 @@
 
 #include "ce/concurrency_controller.h"
 #include "storage/kv_store.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::ce {
 namespace {
 
 class CcEdgeTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    store_.Put("A", 1);
-    store_.Put("B", 2);
-    store_.Put("C", 3);
-  }
-  storage::MemKVStore store_;
+  storage::MemKVStore store_ =
+      testutil::MakeStore({{"A", 1}, {"B", 2}, {"C", 3}});
 };
 
 TEST_F(CcEdgeTest, ReaderAfterCommittedWriterSeesItsValue) {

@@ -9,6 +9,7 @@
 #include "ce/concurrency_controller.h"
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::ce {
@@ -28,11 +29,8 @@ class CcSerializabilityTest : public ::testing::TestWithParam<PropertyParam> {
 
 TEST_P(CcSerializabilityTest, ScheduledOrderIsSerialOrder) {
   const PropertyParam p = GetParam();
-  workload::SmallBankConfig wc;
-  wc.num_accounts = p.accounts;
-  wc.theta = p.theta;
-  wc.read_ratio = p.read_ratio;
-  wc.seed = p.seed;
+  workload::SmallBankConfig wc =
+      testutil::SmallBankTestConfig(p.accounts, p.seed, p.read_ratio, p.theta);
   workload::SmallBankWorkload workload(wc);
 
   storage::MemKVStore store;

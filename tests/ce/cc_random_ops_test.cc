@@ -15,6 +15,7 @@
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
 #include "core/validator.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::ce {
 namespace {
@@ -46,13 +47,16 @@ class RandomOpsContract final : public contract::Contract {
     for (uint32_t i = 0; i < rounds_; ++i) {
       state = Mix(state + static_cast<uint64_t>(acc) * 31 + i);
       std::string key = "k" + std::to_string(state % num_keys_);
+      // Accumulator mixing is hash-like and intentionally wraps; do it in
+      // uint64_t so the wraparound is well-defined.
       if ((state >> 8) % 3 == 0) {
         // Write a value derived from everything read so far.
-        THUNDERBOLT_RETURN_NOT_OK(
-            ctx.Write(key, acc * 7 + static_cast<Value>(i) + 1));
+        THUNDERBOLT_RETURN_NOT_OK(ctx.Write(
+            key, static_cast<Value>(static_cast<uint64_t>(acc) * 7 + i + 1)));
       } else {
         THUNDERBOLT_ASSIGN_OR_RETURN(Value v, ctx.Read(key));
-        acc = acc * 13 + v;
+        acc = static_cast<Value>(static_cast<uint64_t>(acc) * 13 +
+                                 static_cast<uint64_t>(v));
       }
     }
     ctx.EmitResult(acc);
@@ -104,10 +108,11 @@ TEST_P(CcRandomOps, SerializableUnderTorture) {
   registry->Register("torture.randops", std::make_unique<RandomOpsContract>(
                                             p.num_keys, p.ops_per_txn));
 
-  storage::MemKVStore store;
+  std::vector<std::pair<std::string, Value>> init;
   for (uint32_t k = 0; k < p.num_keys; ++k) {
-    store.Put("k" + std::to_string(k), static_cast<Value>(k * 11));
+    init.emplace_back("k" + std::to_string(k), static_cast<Value>(k * 11));
   }
+  storage::MemKVStore store = testutil::MakeStore(init);
   storage::MemKVStore serial_store = store.Clone();
 
   std::vector<txn::Transaction> batch(p.batch);
@@ -143,10 +148,7 @@ TEST_P(CcRandomOps, SerializableUnderTorture) {
     pt.emitted = r->records[slot].emitted;
     preplayed.push_back(std::move(pt));
   }
-  storage::MemKVStore base;
-  for (uint32_t k = 0; k < p.num_keys; ++k) {
-    base.Put("k" + std::to_string(k), static_cast<Value>(k * 11));
-  }
+  storage::MemKVStore base = testutil::MakeStore(init);
   core::ValidationResult vr =
       core::ValidatePreplay(*registry, preplayed, base);
   EXPECT_TRUE(vr.valid) << vr.failure << " (seed " << p.seed << ")";

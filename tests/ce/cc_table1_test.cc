@@ -5,13 +5,14 @@
 
 #include "ce/concurrency_controller.h"
 #include "storage/kv_store.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::ce {
 namespace {
 
 TEST(CcTable1Test, FullScenario) {
-  storage::MemKVStore store;
-  store.Put("D", 3);  // Time 0: initial DB D = 3.
+  // Time 0: initial DB D = 3.
+  storage::MemKVStore store = testutil::MakeStore({{"D", 3}});
 
   // Slots: 0 = T1, 1 = T2, 2 = T3 (paper numbering minus one).
   ConcurrencyController cc(&store, 3);

@@ -11,6 +11,7 @@
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
 #include "core/validator.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::ce {
@@ -28,12 +29,9 @@ class CcValidationProperty : public ::testing::TestWithParam<Param> {};
 
 TEST_P(CcValidationProperty, ScheduleSurvivesValidation) {
   const Param p = GetParam();
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 1000;
+  workload::SmallBankConfig wc = testutil::SmallBankTestConfig(
+      /*num_accounts=*/1000, p.seed, p.read_ratio, p.theta);
   wc.num_shards = 8;
-  wc.theta = p.theta;
-  wc.read_ratio = p.read_ratio;
-  wc.seed = p.seed;
   workload::SmallBankWorkload w(wc);
   storage::MemKVStore base;
   w.InitStore(&base);

@@ -6,20 +6,16 @@
 #include <gtest/gtest.h>
 
 #include "storage/kv_store.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::ce {
 namespace {
 
 class CcTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    store_.Put("A", 0);
-    store_.Put("B", 0);
-    store_.Put("C", 0);
-    store_.Put("D", 3);  // Table 1 initial value.
-  }
-
-  storage::MemKVStore store_;
+  // "D" starts at 3, the Table 1 initial value.
+  storage::MemKVStore store_ =
+      testutil::MakeStore({{"A", 0}, {"B", 0}, {"C", 0}, {"D", 3}});
 };
 
 TEST_F(CcTest, SingleTxnReadsRoot) {

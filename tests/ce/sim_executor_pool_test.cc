@@ -4,6 +4,7 @@
 
 #include "ce/concurrency_controller.h"
 #include "contract/contract.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::ce {
@@ -15,14 +16,8 @@ class PoolTest : public ::testing::Test {
 
   std::vector<txn::Transaction> MakeBatch(size_t n, uint64_t seed,
                                           double read_ratio = 0.5) {
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 100;
-    wc.theta = 0.85;
-    wc.read_ratio = read_ratio;
-    wc.seed = seed;
-    workload::SmallBankWorkload w(wc);
-    w.InitStore(&store_);
-    return w.MakeBatch(n);
+    return testutil::MakeSmallBankBatch(
+        &store_, n, testutil::SmallBankTestConfig(100, seed, read_ratio));
   }
 
   storage::MemKVStore store_;
@@ -116,14 +111,10 @@ TEST_F(PoolTest, DeterministicAcrossRuns) {
 
 TEST_F(PoolTest, ReportsReExecutions) {
   // Update-only on a tiny hot set forces conflicts.
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 4;
-  wc.theta = 0.9;
-  wc.read_ratio = 0.0;
-  wc.seed = 16;
-  workload::SmallBankWorkload w(wc);
-  w.InitStore(&store_);
-  auto batch = w.MakeBatch(100);
+  auto batch = testutil::MakeSmallBankBatch(
+      &store_, 100,
+      testutil::SmallBankTestConfig(/*num_accounts=*/4, /*seed=*/16,
+                                    /*read_ratio=*/0.0, /*theta=*/0.9));
   ConcurrencyController cc(&store_, 100);
   SimExecutorPool pool(8, ExecutionCostModel{});
   auto r = pool.Run(cc, *registry_, batch);

@@ -6,24 +6,26 @@
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt {
 namespace {
 
-TEST(ZipfianTest, ValuesInRange) {
-  Rng rng(1);
+using ZipfianTest = testutil::SeededTest;
+using RngTest = testutil::SeededTest;
+
+TEST_F(ZipfianTest, ValuesInRange) {
   ZipfianGenerator zipf(100, 0.85);
   for (int i = 0; i < 10000; ++i) {
-    EXPECT_LT(zipf.Next(rng), 100u);
+    EXPECT_LT(zipf.Next(rng_), 100u);
   }
 }
 
-TEST(ZipfianTest, SkewConcentratesOnHotKeys) {
-  Rng rng(2);
+TEST_F(ZipfianTest, SkewConcentratesOnHotKeys) {
   ZipfianGenerator zipf(1000, 0.85);
   std::vector<uint64_t> counts(1000, 0);
   const int kSamples = 100000;
-  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng)];
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng_)];
   // Rank 0 must be the hottest and carry a few percent of all draws.
   uint64_t max_count = *std::max_element(counts.begin(), counts.end());
   EXPECT_EQ(counts[0], max_count);
@@ -34,19 +36,19 @@ TEST(ZipfianTest, SkewConcentratesOnHotKeys) {
   EXPECT_GT(head, static_cast<uint64_t>(kSamples) / 2);
 }
 
-TEST(ZipfianTest, ThetaZeroIsRoughlyUniform) {
-  Rng rng(3);
+TEST_F(ZipfianTest, ThetaZeroIsRoughlyUniform) {
   ZipfianGenerator zipf(10, 0.0);
   std::vector<uint64_t> counts(10, 0);
   const int kSamples = 100000;
-  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng)];
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng_)];
   for (uint64_t c : counts) {
     EXPECT_NEAR(static_cast<double>(c), kSamples / 10.0, kSamples * 0.02);
   }
 }
 
-TEST(ZipfianTest, HigherThetaMoreSkew) {
-  Rng rng1(4), rng2(4);
+TEST_F(ZipfianTest, HigherThetaMoreSkew) {
+  // Identical streams so the two generators see the same draws.
+  Rng rng1 = MakeRng(4), rng2 = MakeRng(4);
   ZipfianGenerator low(1000, 0.5), high(1000, 0.95);
   uint64_t low_head = 0, high_head = 0;
   for (int i = 0; i < 50000; ++i) {
@@ -56,27 +58,25 @@ TEST(ZipfianTest, HigherThetaMoreSkew) {
   EXPECT_GT(high_head, low_head * 2);
 }
 
-TEST(RngTest, DeterministicAcrossSeeds) {
-  Rng a(99), b(99), c(100);
+TEST_F(RngTest, DeterministicAcrossSeeds) {
+  Rng a = MakeRng(99), b = MakeRng(99), c = MakeRng(100);
   EXPECT_EQ(a.Next(), b.Next());
   EXPECT_NE(a.Next(), c.Next());
 }
 
-TEST(RngTest, BoundedAndRange) {
-  Rng rng(5);
+TEST_F(RngTest, BoundedAndRange) {
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_LT(rng.NextBounded(7), 7u);
-    uint64_t v = rng.NextRange(10, 20);
+    EXPECT_LT(rng_.NextBounded(7), 7u);
+    uint64_t v = rng_.NextRange(10, 20);
     EXPECT_GE(v, 10u);
     EXPECT_LE(v, 20u);
   }
 }
 
-TEST(RngTest, NextDoubleInUnitInterval) {
-  Rng rng(6);
+TEST_F(RngTest, NextDoubleInUnitInterval) {
   double sum = 0;
   for (int i = 0; i < 10000; ++i) {
-    double d = rng.NextDouble();
+    double d = rng_.NextDouble();
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
     sum += d;
@@ -84,10 +84,9 @@ TEST(RngTest, NextDoubleInUnitInterval) {
   EXPECT_NEAR(sum / 10000, 0.5, 0.02);
 }
 
-TEST(RngTest, ExponentialMean) {
-  Rng rng(7);
+TEST_F(RngTest, ExponentialMean) {
   double sum = 0;
-  for (int i = 0; i < 20000; ++i) sum += rng.NextExponential(100.0);
+  for (int i = 0; i < 20000; ++i) sum += rng_.NextExponential(100.0);
   EXPECT_NEAR(sum / 20000, 100.0, 5.0);
 }
 

@@ -4,6 +4,7 @@
 
 #include "contract/contract.h"
 #include "storage/kv_store.h"
+#include "testutil/testutil.h"
 #include "txn/transaction.h"
 
 namespace thunderbolt::contract {
@@ -33,12 +34,12 @@ class TestContext final : public ContractContext {
 
 class SmallBankTest : public ::testing::Test {
  protected:
-  SmallBankTest() : registry_(Registry::CreateDefault()) {
-    store_.Put(txn::CheckingKey("alice"), 100);
-    store_.Put(txn::SavingsKey("alice"), 50);
-    store_.Put(txn::CheckingKey("bob"), 10);
-    store_.Put(txn::SavingsKey("bob"), 5);
-  }
+  SmallBankTest()
+      : store_(testutil::MakeStore({{txn::CheckingKey("alice"), 100},
+                                    {txn::SavingsKey("alice"), 50},
+                                    {txn::CheckingKey("bob"), 10},
+                                    {txn::SavingsKey("bob"), 5}})),
+        registry_(Registry::CreateDefault()) {}
 
   std::vector<Value> Run(const std::string& contract,
                          std::vector<std::string> accounts,

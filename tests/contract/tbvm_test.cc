@@ -6,6 +6,7 @@
 #include "contract/contract.h"
 #include "contract/smallbank.h"
 #include "storage/kv_store.h"
+#include "testutil/testutil.h"
 #include "txn/transaction.h"
 
 namespace thunderbolt::contract {
@@ -178,16 +179,16 @@ TEST(TbvmSmallBankTest, EquivalentToNativeContracts) {
 
   Rng rng(2024);
   for (int iter = 0; iter < 200; ++iter) {
-    storage::MemKVStore native_store, vm_store;
+    std::vector<std::pair<std::string, Value>> init;
     for (int a = 0; a < 4; ++a) {
       std::string account = "a" + std::to_string(a);
-      Value checking = static_cast<Value>(rng.NextBounded(200)) - 50;
-      Value savings = static_cast<Value>(rng.NextBounded(200)) - 50;
-      native_store.Put(txn::CheckingKey(account), checking);
-      vm_store.Put(txn::CheckingKey(account), checking);
-      native_store.Put(txn::SavingsKey(account), savings);
-      vm_store.Put(txn::SavingsKey(account), savings);
+      init.emplace_back(txn::CheckingKey(account),
+                        static_cast<Value>(rng.NextBounded(200)) - 50);
+      init.emplace_back(txn::SavingsKey(account),
+                        static_cast<Value>(rng.NextBounded(200)) - 50);
     }
+    storage::MemKVStore native_store = testutil::MakeStore(init);
+    storage::MemKVStore vm_store = testutil::MakeStore(init);
     auto& [native_name, vm_name] = pairs[iter % 6];
     std::string a = "a" + std::to_string(rng.NextBounded(4));
     std::string b = "a" + std::to_string(rng.NextBounded(4));

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil/testutil.h"
+
 namespace thunderbolt::core {
 namespace {
 
@@ -22,12 +24,7 @@ ThunderboltConfig SmallConfig(uint32_t n = 4) {
 }
 
 workload::SmallBankConfig SmallWorkload() {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 400;
-  wc.theta = 0.85;
-  wc.read_ratio = 0.5;
-  wc.seed = 12;
-  return wc;
+  return testutil::SmallBankTestConfig(/*num_accounts=*/400, /*seed=*/12);
 }
 
 TEST(ClusterTest, CommitsSingleShardTransactions) {

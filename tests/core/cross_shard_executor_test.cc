@@ -5,6 +5,7 @@
 #include "baselines/serial_executor.h"
 #include "contract/contract.h"
 #include "contract/smallbank.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::core {
@@ -38,12 +39,10 @@ TEST_F(CrossShardTest, EmptyBatch) {
 }
 
 TEST_F(CrossShardTest, StateMatchesSerialExecution) {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 200;
+  workload::SmallBankConfig wc = testutil::SmallBankTestConfig(
+      /*num_accounts=*/200, /*seed=*/51, /*read_ratio=*/0.0);
   wc.num_shards = 4;
   wc.cross_shard_ratio = 1.0;
-  wc.read_ratio = 0.0;
-  wc.seed = 51;
   workload::SmallBankWorkload w(wc);
   storage::MemKVStore store, serial_store;
   w.InitStore(&store);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::core {
 namespace {
@@ -20,12 +21,9 @@ ThunderboltConfig BaseConfig() {
 }
 
 workload::SmallBankConfig BaseWorkload(double cross_ratio) {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 600;
-  wc.theta = 0.85;
-  wc.read_ratio = 0.5;
+  workload::SmallBankConfig wc =
+      testutil::SmallBankTestConfig(/*num_accounts=*/600, /*seed=*/202);
   wc.cross_shard_ratio = cross_ratio;
-  wc.seed = 202;
   return wc;
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::core {
 namespace {
@@ -37,10 +38,7 @@ ThunderboltConfig Config(Round k_prime) {
 }
 
 workload::SmallBankConfig Workload() {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 500;
-  wc.seed = 402;
-  return wc;
+  return testutil::SmallBankTestConfig(/*num_accounts=*/500, /*seed=*/402);
 }
 
 TEST(ReconfigurationTest, DisabledByDefault) {

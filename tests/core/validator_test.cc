@@ -9,6 +9,7 @@
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
 #include "contract/smallbank.h"
+#include "testutil/testutil.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt::core {
@@ -41,12 +42,9 @@ class ValidatorTest : public ::testing::Test {
 };
 
 TEST_F(ValidatorTest, HonestPreplayValidates) {
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 100;
-  wc.seed = 41;
-  workload::SmallBankWorkload w(wc);
   storage::MemKVStore base;
-  w.InitStore(&base);
+  workload::SmallBankWorkload w =
+      testutil::MakeSmallBank(&base, /*num_accounts=*/100, /*seed=*/41);
   auto txs = w.MakeBatch(200);
   auto preplayed = Preplay(txs, base);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/simulator.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::net {
 namespace {
@@ -124,11 +125,12 @@ TEST_F(NetworkTest, WanSlowerThanLan) {
   EXPECT_GT(wan_arrival, lan_arrival * 50);
 }
 
-TEST(LatencyModelTest, SampleBounds) {
-  Rng rng(4);
+using LatencyModelTest = testutil::SeededTest;
+
+TEST_F(LatencyModelTest, SampleBounds) {
   LatencyModel lan = LatencyModel::Lan();
   for (int i = 0; i < 1000; ++i) {
-    SimTime d = lan.SamplePropagation(rng);
+    SimTime d = lan.SamplePropagation(rng_);
     EXPECT_GE(d, lan.base);
     EXPECT_LE(d, lan.base + 10 * lan.jitter_mean);
   }

@@ -1,0 +1,45 @@
+#include "testutil/testutil.h"
+
+namespace thunderbolt::testutil {
+
+storage::MemKVStore MakeStore(
+    std::vector<std::pair<std::string, storage::Value>> entries) {
+  storage::MemKVStore store;
+  for (const auto& [key, value] : entries) {
+    store.Put(key, value);
+  }
+  return store;
+}
+
+workload::SmallBankConfig SmallBankTestConfig(uint64_t num_accounts,
+                                              uint64_t seed,
+                                              double read_ratio,
+                                              double theta) {
+  workload::SmallBankConfig config;
+  config.num_accounts = num_accounts;
+  config.seed = seed;
+  config.read_ratio = read_ratio;
+  config.theta = theta;
+  return config;
+}
+
+workload::SmallBankWorkload MakeSmallBank(storage::MemKVStore* store,
+                                          uint64_t num_accounts,
+                                          uint64_t seed,
+                                          double read_ratio,
+                                          double theta) {
+  workload::SmallBankWorkload w(
+      SmallBankTestConfig(num_accounts, seed, read_ratio, theta));
+  if (store != nullptr) w.InitStore(store);
+  return w;
+}
+
+std::vector<txn::Transaction> MakeSmallBankBatch(
+    storage::MemKVStore* store, size_t count,
+    const workload::SmallBankConfig& config) {
+  workload::SmallBankWorkload w(config);
+  if (store != nullptr) w.InitStore(store);
+  return w.MakeBatch(count);
+}
+
+}  // namespace thunderbolt::testutil

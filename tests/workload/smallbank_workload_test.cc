@@ -3,26 +3,22 @@
 #include <gtest/gtest.h>
 
 #include "contract/smallbank.h"
+#include "testutil/testutil.h"
 
 namespace thunderbolt::workload {
 namespace {
 
 TEST(SmallBankWorkloadTest, InitStoreSeedsAllAccounts) {
-  SmallBankConfig wc;
-  wc.num_accounts = 50;
-  SmallBankWorkload w(wc);
   storage::MemKVStore store;
-  w.InitStore(&store);
+  SmallBankWorkload w = testutil::MakeSmallBank(&store, 50, /*seed=*/60);
   EXPECT_EQ(store.size(), 100u);  // checking + savings per account.
   EXPECT_EQ(w.TotalBalance(store),
-            50 * (wc.initial_checking + wc.initial_savings));
+            50 * (w.config().initial_checking + w.config().initial_savings));
 }
 
 TEST(SmallBankWorkloadTest, ReadRatioRespected) {
-  SmallBankConfig wc;
-  wc.num_accounts = 1000;
-  wc.read_ratio = 0.7;
-  wc.seed = 61;
+  SmallBankConfig wc =
+      testutil::SmallBankTestConfig(1000, /*seed=*/61, /*read_ratio=*/0.7);
   SmallBankWorkload w(wc);
   int reads = 0;
   const int kN = 10000;
@@ -103,11 +99,9 @@ TEST(SmallBankWorkloadTest, CrossShardTxsTouchHomeShard) {
 }
 
 TEST(SmallBankWorkloadTest, ZipfSkewShowsInAccountFrequencies) {
-  SmallBankConfig wc;
-  wc.num_accounts = 1000;
-  wc.theta = 0.85;
-  wc.read_ratio = 1.0;  // GetBalance: one account per txn.
-  wc.seed = 67;
+  // read_ratio 1.0: GetBalance only, one account per txn.
+  SmallBankConfig wc =
+      testutil::SmallBankTestConfig(1000, /*seed=*/67, /*read_ratio=*/1.0);
   SmallBankWorkload w(wc);
   std::map<std::string, int> freq;
   for (int i = 0; i < 20000; ++i) ++freq[w.Next().accounts[0]];
