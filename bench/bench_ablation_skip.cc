@@ -43,5 +43,5 @@ int main(int argc, char** argv) {
                  bench::FmtInt(r.conversions), bench::FmtInt(r.skip_blocks)});
     }
   }
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "ablation_skip");
 }

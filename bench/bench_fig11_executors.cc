@@ -86,7 +86,8 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
 void RunWorkload(const char* title, double read_ratio, uint32_t runs) {
   std::printf("\n--- %s ---\n", title);
   bench::Table table({"engine", "batch", "executors", "tput(tps)",
-                      "latency(s)", "re-exec/txn"});
+                      "latency(s)", "re-exec/txn"},
+                     title);
   const EngineSpec engines[] = {
       {"Thunderbolt", 0}, {"OCC", 1}, {"2PL-No-Wait", 2}};
   for (const EngineSpec& engine : engines) {
@@ -115,5 +116,5 @@ int main(int argc, char** argv) {
       "re-executions (~50% of OCC, ~10% of 2PL at b500)");
   RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs);
   RunWorkload("(b) update-only, Pr = 0", 0.0, runs);
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig11");
 }

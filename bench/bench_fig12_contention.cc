@@ -73,7 +73,8 @@ const char* kEngineNames[] = {"Thunderbolt", "OCC", "2PL-No-Wait"};
 void ThetaSweep(uint32_t runs) {
   std::printf("\n--- (a,b) theta sweep, Pr = 0.5 ---\n");
   bench::Table table(
-      {"engine", "batch", "theta", "tput(tps)", "latency(s)"});
+      {"engine", "batch", "theta", "tput(tps)", "latency(s)"},
+      "theta_sweep");
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double theta : {0.75, 0.8, 0.85, 0.9}) {
@@ -88,7 +89,8 @@ void ThetaSweep(uint32_t runs) {
 
 void ReadRatioSweep(uint32_t runs) {
   std::printf("\n--- (c,d) Pr sweep, theta = 0.85 ---\n");
-  bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"});
+  bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"},
+                     "read_ratio_sweep");
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double pr : {1.0, 0.8, 0.5, 0.1, 0.0}) {
@@ -115,5 +117,5 @@ int main(int argc, char** argv) {
       "Thunderbolt beats OCC on write-heavy mixes");
   ThetaSweep(runs);
   ReadRatioSweep(runs);
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig12");
 }

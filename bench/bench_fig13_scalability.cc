@@ -84,5 +84,5 @@ int main(int argc, char** argv) {
         "%.1fx (paper: ~50x)\n",
         tb64 / tusk64);
   }
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig13");
 }

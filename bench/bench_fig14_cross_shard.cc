@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
   RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC", duration,
            table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", duration, table);
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig14");
 }

@@ -33,5 +33,5 @@ int main(int argc, char** argv) {
                bench::FmtInt(r.reconfigurations),
                bench::FmtInt(r.shift_blocks)});
   }
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig15");
 }

@@ -41,5 +41,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nReconfigurations during the run: %llu\n",
               static_cast<unsigned long long>(r.reconfigurations));
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig16");
 }

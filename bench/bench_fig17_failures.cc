@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2, duration,
            table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, duration, table);
-  return 0;
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig17");
 }

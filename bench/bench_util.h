@@ -7,11 +7,115 @@
 #ifndef THUNDERBOLT_BENCH_BENCH_UTIL_H_
 #define THUNDERBOLT_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace thunderbolt::bench {
+
+/// Escapes `s` for use inside a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a table cell as a JSON value: finite numbers stay bare,
+/// everything else (including "inf"/"nan", which JSON cannot represent)
+/// becomes a quoted string.
+inline std::string JsonCell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    double v = std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0' && std::isfinite(v)) return cell;
+  }
+  return "\"" + JsonEscape(cell) + "\"";
+}
+
+/// Every Table the binary prints is also recorded here, so any figure
+/// binary can dump its full series as JSON with one call at the end of
+/// main (WriteTablesJsonIfRequested).
+class TableLog {
+ public:
+  struct Entry {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static TableLog& Instance() {
+    static TableLog log;
+    return log;
+  }
+
+  /// Returns the new table's index; rows are added against it so two live
+  /// Table objects can't cross-wire each other's series.
+  size_t StartTable(std::string name, std::vector<std::string> columns) {
+    if (name.empty()) name = "table" + std::to_string(tables_.size());
+    tables_.push_back(Entry{std::move(name), std::move(columns), {}});
+    return tables_.size() - 1;
+  }
+
+  void AddRow(size_t table_index, const std::vector<std::string>& cells) {
+    if (table_index < tables_.size()) {
+      tables_[table_index].rows.push_back(cells);
+    }
+  }
+
+  const std::vector<Entry>& tables() const { return tables_; }
+
+  /// Writes `{figure, tables: [{name, columns, rows}]}` to `path`.
+  bool WriteJson(const std::string& path, const std::string& figure) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"tables\": [",
+                 JsonEscape(figure).c_str());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      const Entry& e = tables_[t];
+      std::fprintf(f, "%s\n    {\n      \"name\": \"%s\",\n      "
+                   "\"columns\": [",
+                   t == 0 ? "" : ",", JsonEscape(e.name).c_str());
+      for (size_t i = 0; i < e.columns.size(); ++i) {
+        std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                     JsonEscape(e.columns[i]).c_str());
+      }
+      std::fprintf(f, "],\n      \"rows\": [");
+      for (size_t r = 0; r < e.rows.size(); ++r) {
+        std::fprintf(f, "%s\n        [", r == 0 ? "" : ",");
+        for (size_t i = 0; i < e.rows[r].size(); ++i) {
+          std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                       JsonCell(e.rows[r][i]).c_str());
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "%s\n      ]\n    }", e.rows.empty() ? "" : "\n");
+    }
+    std::fprintf(f, "%s\n  ]\n}\n", tables_.empty() ? "" : "\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Entry> tables_;
+};
 
 /// Prints the figure banner.
 inline void Banner(const char* figure, const char* description,
@@ -27,11 +131,14 @@ inline void Banner(const char* figure, const char* description,
       "=======\n");
 }
 
-/// Simple aligned table printer.
+/// Simple aligned table printer. Rows are mirrored into TableLog so the
+/// binary can additionally dump its series as JSON (--json <path>).
 class Table {
  public:
-  explicit Table(std::vector<std::string> columns)
-      : columns_(std::move(columns)) {
+  explicit Table(std::vector<std::string> columns, std::string name = "")
+      : columns_(std::move(columns)),
+        log_index_(TableLog::Instance().StartTable(std::move(name),
+                                                   columns_)) {
     for (const auto& c : columns_) std::printf("%14s", c.c_str());
     std::printf("\n");
     for (size_t i = 0; i < columns_.size(); ++i) std::printf("%14s", "----");
@@ -39,6 +146,7 @@ class Table {
   }
 
   void Row(const std::vector<std::string>& cells) {
+    TableLog::Instance().AddRow(log_index_, cells);
     for (const auto& c : cells) std::printf("%14s", c.c_str());
     std::printf("\n");
     std::fflush(stdout);
@@ -46,6 +154,7 @@ class Table {
 
  private:
   std::vector<std::string> columns_;
+  size_t log_index_;
 };
 
 inline std::string Fmt(double v, int precision = 1) {
@@ -63,6 +172,42 @@ inline bool QuickMode(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   }
   return false;
+}
+
+/// True when the bare flag `--<name>` appears in argv.
+inline bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+/// Returns the value of `--<name> <value>` or `--<name>=<value>`, or ""
+/// when the flag is absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+  }
+  return "";
+}
+
+/// Shared `--json <path>` handling for the figure binaries: when the flag
+/// is present, dumps every table printed so far to that path. Call as the
+/// last statement of main.
+inline int WriteTablesJsonIfRequested(int argc, char** argv,
+                                      const char* figure) {
+  std::string path = FlagValue(argc, argv, "json");
+  if (path.empty()) return 0;
+  if (!TableLog::Instance().WriteJson(path, figure)) {
+    std::fprintf(stderr, "failed to write JSON to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nJSON series written to %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace thunderbolt::bench

@@ -1,0 +1,330 @@
+// thunderbolt_bench: the unified workload x engine benchmark driver.
+//
+// Runs any workload registered in workload::WorkloadRegistry against any
+// execution engine (serial, OCC, 2PL-No-Wait, Thunderbolt CE) over a
+// batch-size x skew sweep, prints the usual table, and always writes the
+// full series as machine-readable JSON — the BENCH_*.json perf trajectory.
+//
+//   thunderbolt_bench                          # full sweep, all x all
+//   thunderbolt_bench --workload ycsb --engine ce --theta 0.5,0.9
+//   thunderbolt_bench --smoke --json out.json  # tiny CI sweep
+//
+// Flags:
+//   --workload <names|all>   comma list of registry names    [all]
+//   --engine <names|all>     serial,occ,2pl,ce               [all]
+//   --batch <sizes>          comma list of batch sizes       [100,300]
+//   --theta <values>         comma list of Zipfian skews     [0.85]
+//   --executors <n>          simulated executors             [8]
+//   --runs <n>               batches per configuration       [5]
+//   --records <n>            population scale                [10000]
+//   --json <path>            output path          [thunderbolt_bench.json]
+//   --smoke                  shrink everything for CI
+//   --list                   print registered workloads and exit
+#include <cinttypes>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/occ_engine.h"
+#include "baselines/serial_executor.h"
+#include "baselines/tpl_nowait_engine.h"
+#include "bench/bench_util.h"
+#include "ce/concurrency_controller.h"
+#include "ce/sim_executor_pool.h"
+#include "common/histogram.h"
+#include "contract/contract.h"
+#include "workload/workload.h"
+
+namespace thunderbolt {
+namespace {
+
+struct DriverConfig {
+  std::vector<std::string> workloads;
+  std::vector<std::string> engines;
+  std::vector<uint32_t> batch_sizes;
+  std::vector<double> thetas;
+  uint32_t executors = 8;
+  uint32_t runs = 5;
+  uint64_t records = 10000;
+  std::string json_path = "thunderbolt_bench.json";
+};
+
+struct SweepResult {
+  std::string workload;
+  std::string engine;
+  uint32_t batch_size = 0;
+  double theta = 0;
+  uint64_t txns = 0;
+  uint64_t aborts = 0;
+  double tps = 0;
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double re_execs_per_txn = 0;
+  bool invariant_ok = false;
+};
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) items.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::unique_ptr<ce::BatchEngine> MakeEngine(const std::string& name,
+                                            storage::MemKVStore* store,
+                                            uint32_t batch_size) {
+  if (name == "occ") {
+    return std::make_unique<baselines::OccEngine>(store, batch_size);
+  }
+  if (name == "2pl") {
+    return std::make_unique<baselines::TplNoWaitEngine>(store, batch_size);
+  }
+  if (name == "ce") {
+    return std::make_unique<ce::ConcurrencyController>(store, batch_size);
+  }
+  return nullptr;  // "serial" takes the ExecuteSerial path.
+}
+
+/// One workload x engine x batch x theta cell: `runs` batches executed
+/// back-to-back against one store, then the workload invariant check.
+Result<SweepResult> RunCell(const DriverConfig& config,
+                            const std::string& workload_name,
+                            const std::string& engine_name,
+                            uint32_t batch_size, double theta) {
+  workload::WorkloadOptions options;
+  options.num_records = config.records;
+  options.theta = theta;
+  // Scale TPC-C-lite tables with --records so --smoke stays small.
+  options.num_warehouses =
+      static_cast<uint32_t>(config.records >= 2000 ? 2 : 1);
+  options.customers_per_district =
+      static_cast<uint32_t>(config.records / 100 + 10);
+  options.num_items = static_cast<uint32_t>(config.records / 50 + 20);
+
+  auto w = workload::WorkloadRegistry::Global().Create(workload_name, options);
+  if (w == nullptr) {
+    return Status::NotFound("unknown workload: " + workload_name);
+  }
+  storage::MemKVStore store;
+  w->InitStore(&store);
+  auto registry = contract::Registry::CreateDefault();
+  ce::SimExecutorPool pool(config.executors, ce::ExecutionCostModel{});
+  const SimTime serial_op_cost = ce::ExecutionCostModel{}.op_cost;
+
+  SweepResult out;
+  out.workload = workload_name;
+  out.engine = engine_name;
+  out.batch_size = batch_size;
+  out.theta = theta;
+  SimTime total_time = 0;
+  Histogram latency_us;
+  for (uint32_t run = 0; run < config.runs; ++run) {
+    auto batch = w->MakeBatch(batch_size);
+    if (engine_name == "serial") {
+      baselines::SerialExecutionResult r = baselines::ExecuteSerial(
+          *registry, batch, &store, serial_op_cost);
+      // Commit latency of txn i = virtual time until its sequential turn
+      // completes.
+      SimTime clock = 0;
+      for (const ce::TxnRecord& record : r.records) {
+        clock += serial_op_cost *
+                 (record.rw_set.reads.size() + record.rw_set.writes.size());
+        latency_us.Add(static_cast<double>(clock));
+      }
+      total_time += r.duration;
+    } else {
+      auto engine = MakeEngine(engine_name, &store, batch_size);
+      if (engine == nullptr) {
+        return Status::NotFound("unknown engine: " + engine_name);
+      }
+      THUNDERBOLT_ASSIGN_OR_RETURN(ce::BatchExecutionResult r,
+                                   pool.Run(*engine, *registry, batch));
+      THUNDERBOLT_RETURN_NOT_OK(store.Write(r.final_writes));
+      total_time += r.duration;
+      out.aborts += r.total_aborts;
+      for (double sample : r.commit_latency_us.samples()) {
+        latency_us.Add(sample);
+      }
+    }
+    out.txns += batch_size;
+  }
+  out.tps = total_time == 0
+                ? 0
+                : static_cast<double>(out.txns) / ToSeconds(total_time);
+  out.p50_latency_us = latency_us.Percentile(50.0);
+  out.p99_latency_us = latency_us.Percentile(99.0);
+  out.re_execs_per_txn =
+      out.txns == 0 ? 0
+                    : static_cast<double>(out.aborts) /
+                          static_cast<double>(out.txns);
+  out.invariant_ok = w->CheckInvariant(store).ok();
+  return out;
+}
+
+bool WriteResultsJson(const std::string& path,
+                      const std::vector<SweepResult>& results,
+                      const DriverConfig& config) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n  \"bench\": \"thunderbolt_bench\",\n"
+               "  \"executors\": %u,\n  \"runs\": %u,\n  \"records\": "
+               "%" PRIu64 ",\n  \"results\": [",
+               config.executors, config.runs, config.records);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
+        "\"batch_size\": %u, \"theta\": %.3f, \"txns\": %" PRIu64
+        ", \"tps\": %.1f, \"p50_latency_us\": %.1f, \"p99_latency_us\": "
+        "%.1f, \"aborts\": %" PRIu64 ", \"re_execs_per_txn\": %.4f, "
+        "\"invariant_ok\": %s}",
+        i == 0 ? "" : ",", bench::JsonEscape(r.workload).c_str(),
+        bench::JsonEscape(r.engine).c_str(), r.batch_size, r.theta, r.txns,
+        r.tps, r.p50_latency_us, r.p99_latency_us, r.aborts,
+        r.re_execs_per_txn, r.invariant_ok ? "true" : "false");
+  }
+  std::fprintf(f, "%s\n  ]\n}\n", results.empty() ? "" : "\n");
+  std::fclose(f);
+  return true;
+}
+
+DriverConfig ParseFlags(int argc, char** argv) {
+  DriverConfig config;
+  const bool smoke = bench::HasFlag(argc, argv, "smoke");
+  std::string workloads = bench::FlagValue(argc, argv, "workload");
+  if (workloads.empty() || workloads == "all") {
+    config.workloads = workload::WorkloadRegistry::Global().Names();
+  } else {
+    config.workloads = SplitList(workloads);
+  }
+  std::string engines = bench::FlagValue(argc, argv, "engine");
+  if (engines.empty() || engines == "all") {
+    config.engines = {"serial", "occ", "2pl", "ce"};
+  } else {
+    config.engines = SplitList(engines);
+  }
+  std::string batches = bench::FlagValue(argc, argv, "batch");
+  for (const std::string& b : SplitList(batches)) {
+    uint32_t size = static_cast<uint32_t>(std::strtoul(b.c_str(), nullptr, 10));
+    if (size == 0) {
+      std::fprintf(stderr, "invalid --batch entry \"%s\"\n", b.c_str());
+      std::exit(2);
+    }
+    config.batch_sizes.push_back(size);
+  }
+  if (config.batch_sizes.empty()) {
+    config.batch_sizes = smoke ? std::vector<uint32_t>{64}
+                               : std::vector<uint32_t>{100, 300};
+  }
+  std::string thetas = bench::FlagValue(argc, argv, "theta");
+  for (const std::string& t : SplitList(thetas)) {
+    char* end = nullptr;
+    double theta = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0' || theta < 0 || theta >= 1) {
+      std::fprintf(stderr, "invalid --theta entry \"%s\" (need [0, 1))\n",
+                   t.c_str());
+      std::exit(2);
+    }
+    config.thetas.push_back(theta);
+  }
+  if (config.thetas.empty()) config.thetas = {0.85};
+  std::string executors = bench::FlagValue(argc, argv, "executors");
+  if (!executors.empty()) {
+    config.executors =
+        static_cast<uint32_t>(std::strtoul(executors.c_str(), nullptr, 10));
+    if (config.executors == 0) {
+      std::fprintf(stderr, "invalid --executors \"%s\"\n", executors.c_str());
+      std::exit(2);
+    }
+  }
+  std::string runs = bench::FlagValue(argc, argv, "runs");
+  if (!runs.empty()) {
+    config.runs =
+        static_cast<uint32_t>(std::strtoul(runs.c_str(), nullptr, 10));
+    if (config.runs == 0) {
+      std::fprintf(stderr, "invalid --runs \"%s\"\n", runs.c_str());
+      std::exit(2);
+    }
+  }
+  std::string records = bench::FlagValue(argc, argv, "records");
+  if (!records.empty()) {
+    config.records = std::strtoull(records.c_str(), nullptr, 10);
+    if (config.records == 0) {
+      std::fprintf(stderr, "invalid --records \"%s\"\n", records.c_str());
+      std::exit(2);
+    }
+  }
+  std::string json = bench::FlagValue(argc, argv, "json");
+  if (!json.empty()) config.json_path = json;
+  // Smoke shrinks only what the user didn't set explicitly.
+  if (smoke) {
+    if (runs.empty()) config.runs = 2;
+    if (records.empty()) config.records = 200;
+  }
+  return config;
+}
+
+}  // namespace
+}  // namespace thunderbolt
+
+int main(int argc, char** argv) {
+  using namespace thunderbolt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list") {
+      for (const std::string& name :
+           workload::WorkloadRegistry::Global().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+  }
+  DriverConfig config = ParseFlags(argc, argv);
+  bench::Banner("thunderbolt_bench", "workload x engine x batch/skew sweep",
+                "CE sustains the highest throughput with the fewest "
+                "re-executions as batch size and skew grow");
+  bench::Table table({"workload", "engine", "batch", "theta", "tput(tps)",
+                      "p50(us)", "p99(us)", "re-exec/txn", "invariant"},
+                     "sweep");
+  std::vector<SweepResult> results;
+  bool all_ok = true;
+  for (const std::string& workload_name : config.workloads) {
+    for (const std::string& engine_name : config.engines) {
+      for (uint32_t batch_size : config.batch_sizes) {
+        for (double theta : config.thetas) {
+          auto cell =
+              RunCell(config, workload_name, engine_name, batch_size, theta);
+          if (!cell.ok()) {
+            std::fprintf(stderr, "%s/%s b%u theta %.2f failed: %s\n",
+                         workload_name.c_str(), engine_name.c_str(),
+                         batch_size, theta, cell.status().ToString().c_str());
+            all_ok = false;
+            continue;
+          }
+          if (!cell->invariant_ok) all_ok = false;
+          results.push_back(*cell);
+          table.Row({cell->workload, cell->engine,
+                     bench::FmtInt(cell->batch_size),
+                     bench::Fmt(cell->theta, 2), bench::Fmt(cell->tps, 0),
+                     bench::Fmt(cell->p50_latency_us, 1),
+                     bench::Fmt(cell->p99_latency_us, 1),
+                     bench::Fmt(cell->re_execs_per_txn, 3),
+                     cell->invariant_ok ? "ok" : "VIOLATED"});
+        }
+      }
+    }
+  }
+  if (!WriteResultsJson(config.json_path, results, config)) {
+    std::fprintf(stderr, "failed to write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  std::printf("\n%zu results written to %s\n", results.size(),
+              config.json_path.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -33,6 +33,10 @@ class Histogram {
   double Min() const;
   double Max() const;
 
+  /// Raw samples, in insertion order until a percentile query sorts them.
+  /// Used to merge per-batch histograms into a sweep-level one.
+  const std::vector<double>& samples() const { return samples_; }
+
   /// p in [0, 100].
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }

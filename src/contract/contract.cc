@@ -1,7 +1,9 @@
 #include "contract/contract.h"
 
+#include "contract/kv.h"
 #include "contract/smallbank.h"
 #include "contract/tbvm.h"
+#include "contract/tpcc_lite.h"
 
 namespace thunderbolt::contract {
 
@@ -27,6 +29,8 @@ std::shared_ptr<Registry> Registry::CreateDefault() {
   auto registry = std::make_shared<Registry>();
   RegisterSmallBank(*registry);
   RegisterTbvmSmallBank(*registry);
+  RegisterKv(*registry);
+  RegisterTpccLite(*registry);
   return registry;
 }
 

@@ -1,0 +1,68 @@
+#include "contract/kv.h"
+
+#include <memory>
+
+namespace thunderbolt::contract {
+
+namespace {
+
+using txn::Transaction;
+
+Status RequireArgs(const Transaction& tx, size_t accounts, size_t params) {
+  if (tx.accounts.size() < accounts) {
+    return Status::InvalidArgument(tx.contract + ": missing account args");
+  }
+  if (tx.params.size() < params) {
+    return Status::InvalidArgument(tx.contract + ": missing params");
+  }
+  return Status::OK();
+}
+
+class KvReadContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 0));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value value,
+                                 ctx.Read(KvValueKey(tx.accounts[0])));
+    ctx.EmitResult(value);
+    return Status::OK();
+  }
+};
+
+class KvUpdateContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 1));
+    THUNDERBOLT_RETURN_NOT_OK(
+        ctx.Write(KvValueKey(tx.accounts[0]), tx.params[0]));
+    ctx.EmitResult(tx.params[0]);
+    return Status::OK();
+  }
+};
+
+class KvRmwContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 1, 1));
+    const Key key = KvValueKey(tx.accounts[0]);
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value value, ctx.Read(key));
+    Value updated = value + tx.params[0];
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(key, updated));
+    ctx.EmitResult(updated);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::string KvValueKey(const std::string& record) {
+  return record + "/value";
+}
+
+void RegisterKv(Registry& registry) {
+  registry.Register(kKvRead, std::make_unique<KvReadContract>());
+  registry.Register(kKvUpdate, std::make_unique<KvUpdateContract>());
+  registry.Register(kKvRmw, std::make_unique<KvRmwContract>());
+}
+
+}  // namespace thunderbolt::contract

@@ -1,0 +1,36 @@
+// Generic key-value contracts (the YCSB-KV workload's operations).
+//
+// Each record is one account holding a single "<record>/value" key, so the
+// shard of an operation is derived from its record argument exactly like
+// SmallBank accounts. Three operations cover the YCSB core mixes:
+//
+//   kv.read    accounts: [r]   params: []       read value, emit it
+//   kv.update  accounts: [r]   params: [v]      blind write of v
+//   kv.rmw     accounts: [r]   params: [delta]  read, add delta, write
+//
+// kv.rmw is the contended read-modify-write that distinguishes engines
+// under skew; its increments commute, which the cross-engine agreement
+// tests rely on.
+#ifndef THUNDERBOLT_CONTRACT_KV_H_
+#define THUNDERBOLT_CONTRACT_KV_H_
+
+#include <string>
+
+#include "contract/contract.h"
+
+namespace thunderbolt::contract {
+
+/// Registers the kv.* contracts into `registry`.
+void RegisterKv(Registry& registry);
+
+/// Canonical contract names.
+inline constexpr char kKvRead[] = "kv.read";
+inline constexpr char kKvUpdate[] = "kv.update";
+inline constexpr char kKvRmw[] = "kv.rmw";
+
+/// The storage key holding `record`'s value.
+std::string KvValueKey(const std::string& record);
+
+}  // namespace thunderbolt::contract
+
+#endif  // THUNDERBOLT_CONTRACT_KV_H_

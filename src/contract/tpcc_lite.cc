@@ -1,0 +1,112 @@
+#include "contract/tpcc_lite.h"
+
+#include <memory>
+
+namespace thunderbolt::contract {
+
+namespace {
+
+// Register conventions shared by both assemblers:
+//   r0 amount / order id      r1 read scratch     r2 write scratch
+//   r3 constant 1             r4 running total    r5 result / qty
+//   r6 stock                  r7 threshold        r8 restock refill
+//   r9 restock margin
+// Key registers are allocated in program order.
+
+/// Appends "k<key_reg> = accounts[acct]/<suffix>; r2 = [k] + r<delta_reg>;
+/// [k] = r2" — the commutative increment every YTD/counter update uses.
+void EmitIncrement(TbProgram& p, uint8_t key_reg, uint8_t acct,
+                   uint8_t suffix, uint8_t delta_reg) {
+  p.code.push_back({TbOp::kMakeKey, key_reg, acct, suffix, 0});
+  p.code.push_back({TbOp::kRead, 1, key_reg, 0, 0});
+  p.code.push_back({TbOp::kAdd, 2, 1, delta_reg, 0});
+  p.code.push_back({TbOp::kWrite, key_reg, 2, 0, 0});
+}
+
+}  // namespace
+
+TbProgram AssembleTpccPayment() {
+  TbProgram p;
+  p.suffixes = {"ytd", "balance", "ytd_payment", "payment_cnt", "credit",
+                "penalty"};
+  auto& c = p.code;
+  c.push_back({TbOp::kLoadParam, 0, 0, 0, 0});  // r0 = amount
+  c.push_back({TbOp::kLoadImm, 3, 0, 0, 1});    // r3 = 1
+  size_t decline_jump = c.size();
+  c.push_back({TbOp::kJlt, 0, 3, 0, 0});        // amount < 1 -> DECLINE
+  EmitIncrement(p, 0, /*acct=*/0, /*suffix=*/0, /*delta=*/0);  // w/ytd
+  EmitIncrement(p, 1, /*acct=*/1, /*suffix=*/0, /*delta=*/0);  // d/ytd
+  // c/balance -= amount; keep the new balance in r5 for the emit.
+  c.push_back({TbOp::kMakeKey, 2, 2, 1, 0});
+  c.push_back({TbOp::kRead, 1, 2, 0, 0});
+  c.push_back({TbOp::kSub, 2, 1, 0, 0});
+  c.push_back({TbOp::kWrite, 2, 2, 0, 0});
+  c.push_back({TbOp::kMov, 5, 2, 0, 0});
+  EmitIncrement(p, 3, /*acct=*/2, /*suffix=*/2, /*delta=*/0);  // c/ytd_payment
+  EmitIncrement(p, 4, /*acct=*/2, /*suffix=*/3, /*delta=*/3);  // c/payment_cnt
+  // Bad-credit branch: the penalty write only exists when c/credit != 0.
+  c.push_back({TbOp::kMakeKey, 5, 2, 4, 0});
+  c.push_back({TbOp::kRead, 1, 5, 0, 0});
+  size_t emit_jump = c.size();
+  c.push_back({TbOp::kJz, 1, 0, 0, 0});         // good credit -> EMIT
+  EmitIncrement(p, 6, /*acct=*/2, /*suffix=*/5, /*delta=*/3);  // c/penalty
+  c[emit_jump].imm = static_cast<int64_t>(c.size());  // EMIT:
+  c.push_back({TbOp::kEmit, 5, 0, 0, 0});
+  c.push_back({TbOp::kHalt, 0, 0, 0, 0});
+  c[decline_jump].imm = static_cast<int64_t>(c.size());  // DECLINE:
+  c.push_back({TbOp::kLoadImm, 5, 0, 0, 0});
+  c.push_back({TbOp::kEmit, 5, 0, 0, 0});
+  c.push_back({TbOp::kHalt, 0, 0, 0, 0});
+  return p;
+}
+
+TbProgram AssembleTpccNewOrder(int items) {
+  TbProgram p;
+  p.suffixes = {"next_oid", "stock", "order_ytd", "order_cnt"};
+  auto& c = p.code;
+  c.push_back({TbOp::kLoadImm, 3, 0, 0, 1});
+  c.push_back({TbOp::kLoadImm, 8, 0, 0, kTpccRestockAmount});
+  c.push_back({TbOp::kLoadImm, 9, 0, 0, kTpccRestockMargin});
+  c.push_back({TbOp::kLoadImm, 4, 0, 0, 0});    // r4 = total
+  // oid = d/next_oid++ (r0 carries oid to the dynamic probe below).
+  c.push_back({TbOp::kMakeKey, 0, 0, 0, 0});
+  c.push_back({TbOp::kRead, 0, 0, 0, 0});
+  c.push_back({TbOp::kAdd, 2, 0, 3, 0});
+  c.push_back({TbOp::kWrite, 0, 2, 0, 0});
+  for (int j = 1; j <= items; ++j) {
+    // stock_j -= qty_j with TPC-C's refill-before-depletion rule.
+    c.push_back({TbOp::kLoadParam, 5, 0, 0, j - 1});
+    c.push_back({TbOp::kMakeKey, 1, static_cast<uint8_t>(j), 1, 0});
+    c.push_back({TbOp::kRead, 6, 1, 0, 0});
+    c.push_back({TbOp::kAdd, 7, 5, 9, 0});      // r7 = qty + margin
+    size_t restock_jump = c.size();
+    c.push_back({TbOp::kJlt, 6, 7, 0, 0});      // stock low -> RESTOCK
+    size_t deduct_jump = c.size();
+    c.push_back({TbOp::kJmp, 0, 0, 0, 0});      // -> DEDUCT
+    c[restock_jump].imm = static_cast<int64_t>(c.size());  // RESTOCK:
+    c.push_back({TbOp::kAdd, 6, 6, 8});
+    c[deduct_jump].imm = static_cast<int64_t>(c.size());   // DEDUCT:
+    c.push_back({TbOp::kSub, 6, 6, 5});
+    c.push_back({TbOp::kWrite, 1, 6, 0, 0});
+    c.push_back({TbOp::kAdd, 4, 4, 5, 0});      // total += qty
+  }
+  EmitIncrement(p, 2, /*acct=*/0, /*suffix=*/2, /*delta=*/4);  // d/order_ytd
+  EmitIncrement(p, 3, /*acct=*/0, /*suffix=*/3, /*delta=*/3);  // d/order_cnt
+  // Dynamic probe: read the stock key of accounts[oid % (items+1)] — the
+  // key only exists once the order id has been read, so no engine can
+  // predeclare this access.
+  c.push_back({TbOp::kMakeKeyReg, 4, 0, 1, 0});
+  c.push_back({TbOp::kRead, 1, 4, 0, 0});
+  c.push_back({TbOp::kEmit, 4, 0, 0, 0});       // order total
+  c.push_back({TbOp::kHalt, 0, 0, 0, 0});
+  return p;
+}
+
+void RegisterTpccLite(Registry& registry) {
+  registry.Register(kTpccPayment,
+                    std::make_unique<TbvmContract>(AssembleTpccPayment()));
+  registry.Register(kTpccNewOrder,
+                    std::make_unique<TbvmContract>(AssembleTpccNewOrder()));
+}
+
+}  // namespace thunderbolt::contract

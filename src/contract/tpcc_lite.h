@@ -1,0 +1,55 @@
+// TPC-C-lite: NewOrder and Payment as TBVM contract programs.
+//
+// A reduced TPC-C over warehouse / district / customer / item entities.
+// Unlike the native SmallBank contracts, both transactions run as TBVM
+// bytecode whose control flow branches on values read at runtime, so their
+// read/write sets are genuinely undiscoverable before execution:
+//
+//   tpcc.payment   accounts: [warehouse, district, customer]
+//                  params:   [amount]
+//     w/ytd += amount; d/ytd += amount; c/balance -= amount;
+//     c/ytd_payment += amount; c/payment_cnt += 1. Customers with bad
+//     credit (static c/credit != 0, 10% of customers) additionally bump
+//     c/penalty — a write that exists only on one branch of a read.
+//
+//   tpcc.new_order accounts: [district, item_1 .. item_k]
+//                  params:   [qty_1 .. qty_k]
+//     oid = d/next_oid++ ; for each item: stock -= qty, restocking +91
+//     first when stock < qty + 10 (TPC-C's threshold rule — the write
+//     value depends on the read); d/order_ytd += sum(qty);
+//     d/order_cnt += 1. Finally the program probes the "stock" key of
+//     accounts[oid % k+1] (kMakeKeyReg): a read whose *key* is computed
+//     from a value read earlier in the same transaction.
+//
+// All committed state changes are commutative increments/decrements (when
+// restocking doesn't trigger), which the cross-engine agreement tests use:
+// every serialization order yields the same final state.
+#ifndef THUNDERBOLT_CONTRACT_TPCC_LITE_H_
+#define THUNDERBOLT_CONTRACT_TPCC_LITE_H_
+
+#include "contract/contract.h"
+#include "contract/tbvm.h"
+
+namespace thunderbolt::contract {
+
+/// Registers tpcc.payment and tpcc.new_order into `registry`.
+void RegisterTpccLite(Registry& registry);
+
+/// Canonical contract names.
+inline constexpr char kTpccPayment[] = "tpcc.payment";
+inline constexpr char kTpccNewOrder[] = "tpcc.new_order";
+
+/// Items per NewOrder (accounts: district + kTpccOrderItems items).
+inline constexpr int kTpccOrderItems = 3;
+
+/// Restock threshold margin and refill amount (TPC-C's stock rule).
+inline constexpr storage::Value kTpccRestockMargin = 10;
+inline constexpr storage::Value kTpccRestockAmount = 91;
+
+/// The assembled programs (exposed for tests / disassembly).
+TbProgram AssembleTpccPayment();
+TbProgram AssembleTpccNewOrder(int items = kTpccOrderItems);
+
+}  // namespace thunderbolt::contract
+
+#endif  // THUNDERBOLT_CONTRACT_TPCC_LITE_H_

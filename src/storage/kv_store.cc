@@ -27,8 +27,16 @@ Status MemKVStore::Put(const Key& key, Value value) {
 }
 
 Status MemKVStore::Write(const WriteBatch& batch) {
+  // Pre-size only when the batch could grow the table noticeably: bulk
+  // loads get at most one rehash, while steady-state overwrite batches
+  // (post-commit writes to mostly-live keys) avoid permanently doubling
+  // the bucket array for keys that never materialize. try_emplace does a
+  // single hash+probe per entry whether the key is fresh or live.
+  if (batch.size() > map_.size() / 4) {
+    map_.reserve(map_.size() + batch.size());
+  }
   for (const WriteBatch::Entry& e : batch.entries()) {
-    VersionedValue& vv = map_[e.key];
+    VersionedValue& vv = map_.try_emplace(e.key).first->second;
     vv.value = e.value;
     ++vv.version;
   }
@@ -37,7 +45,8 @@ Status MemKVStore::Write(const WriteBatch& batch) {
 
 MemKVStore MemKVStore::Clone() const {
   MemKVStore copy;
-  copy.map_ = map_;
+  copy.map_.reserve(map_.size());
+  copy.map_.insert(map_.begin(), map_.end());
   return copy;
 }
 

@@ -85,6 +85,10 @@ class MemKVStore final : public KVStore {
   Status Write(const WriteBatch& batch) override;
   size_t size() const override { return map_.size(); }
 
+  /// Pre-sizes the hash table for `expected_keys` live keys so bulk loads
+  /// (workload InitStore, large WriteBatches) avoid incremental rehashing.
+  void Reserve(size_t expected_keys) { map_.reserve(expected_keys); }
+
   /// Deep copy used to fork validator state.
   MemKVStore Clone() const;
 

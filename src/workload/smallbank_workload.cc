@@ -6,6 +6,17 @@
 
 namespace thunderbolt::workload {
 
+SmallBankConfig SmallBankConfig::FromOptions(const WorkloadOptions& options) {
+  SmallBankConfig config;
+  config.num_accounts = options.num_records;
+  config.theta = options.theta;
+  config.read_ratio = options.read_ratio;
+  config.cross_shard_ratio = options.cross_shard_ratio;
+  config.num_shards = options.num_shards;
+  config.seed = options.seed;
+  return config;
+}
+
 SmallBankWorkload::SmallBankWorkload(SmallBankConfig config)
     : config_(config),
       mapper_(config.num_shards),
@@ -29,6 +40,7 @@ std::string SmallBankWorkload::AccountName(uint64_t i) {
 }
 
 void SmallBankWorkload::InitStore(storage::MemKVStore* store) const {
+  store->Reserve(store->size() + 2 * config_.num_accounts);
   for (uint64_t i = 0; i < config_.num_accounts; ++i) {
     std::string account = AccountName(i);
     store->Put(txn::CheckingKey(account), config_.initial_checking);
@@ -101,21 +113,6 @@ txn::Transaction SmallBankWorkload::NextForShard(ShardId shard) {
   return MakeSendPayment(std::move(from), std::move(to));
 }
 
-std::vector<txn::Transaction> SmallBankWorkload::MakeBatch(size_t count) {
-  std::vector<txn::Transaction> batch;
-  batch.reserve(count);
-  for (size_t i = 0; i < count; ++i) batch.push_back(Next());
-  return batch;
-}
-
-std::vector<txn::Transaction> SmallBankWorkload::MakeShardBatch(
-    ShardId shard, size_t count) {
-  std::vector<txn::Transaction> batch;
-  batch.reserve(count);
-  for (size_t i = 0; i < count; ++i) batch.push_back(NextForShard(shard));
-  return batch;
-}
-
 storage::Value SmallBankWorkload::TotalBalance(
     const storage::MemKVStore& store) const {
   storage::Value total = 0;
@@ -125,6 +122,20 @@ storage::Value SmallBankWorkload::TotalBalance(
     total += store.GetOrDefault(txn::SavingsKey(account), 0);
   }
   return total;
+}
+
+Status SmallBankWorkload::CheckInvariant(
+    const storage::MemKVStore& store) const {
+  storage::Value expected =
+      static_cast<storage::Value>(config_.num_accounts) *
+      (config_.initial_checking + config_.initial_savings);
+  storage::Value actual = TotalBalance(store);
+  if (actual != expected) {
+    return Status::Corruption(
+        "smallbank: total balance " + std::to_string(actual) +
+        " != seeded total " + std::to_string(expected));
+  }
+  return Status::OK();
 }
 
 }  // namespace thunderbolt::workload

@@ -18,6 +18,7 @@
 #include "common/zipfian.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
+#include "workload/workload.h"
 
 namespace thunderbolt::workload {
 
@@ -30,38 +31,44 @@ struct SmallBankConfig {
   storage::Value initial_checking = 10000;
   storage::Value initial_savings = 10000;
   uint64_t seed = 42;
+
+  /// Maps the framework-level options onto SmallBank's native config
+  /// (registry factory path; initial balances keep their defaults).
+  static SmallBankConfig FromOptions(const WorkloadOptions& options);
 };
 
-class SmallBankWorkload {
+class SmallBankWorkload final : public Workload {
  public:
   explicit SmallBankWorkload(SmallBankConfig config);
 
   const SmallBankConfig& config() const { return config_; }
 
+  std::string name() const override { return "smallbank"; }
+
   /// Seeds every account's checking and savings balance in `store`.
-  void InitStore(storage::MemKVStore* store) const;
+  void InitStore(storage::MemKVStore* store) const override;
 
   /// Account name for global Zipfian rank `i` (rank 0 is hottest).
   static std::string AccountName(uint64_t i);
 
   /// Next transaction in the global mix (used by the CE benchmarks where
   /// sharding is not involved).
-  txn::Transaction Next();
+  txn::Transaction Next() override;
 
   /// Next transaction homed at `shard`: single-shard transactions touch
   /// only accounts of that shard; with probability cross_shard_ratio the
   /// transaction instead spans `shard` and one other shard.
-  txn::Transaction NextForShard(ShardId shard);
+  txn::Transaction NextForShard(ShardId shard) override;
 
-  /// Convenience batch generators.
-  std::vector<txn::Transaction> MakeBatch(size_t count);
-  std::vector<txn::Transaction> MakeShardBatch(ShardId shard, size_t count);
-
-  const txn::ShardMapper& mapper() const { return mapper_; }
+  const txn::ShardMapper& mapper() const override { return mapper_; }
 
   /// Sum of all balances; conserved by every SmallBank mix that excludes
   /// WriteCheck and failed sends (used by invariant tests).
   storage::Value TotalBalance(const storage::MemKVStore& store) const;
+
+  /// Total-balance conservation: the GetBalance/SendPayment mix never
+  /// creates or destroys money, so the sum must equal the seeded total.
+  Status CheckInvariant(const storage::MemKVStore& store) const override;
 
  private:
   std::string SampleGlobalAccount();

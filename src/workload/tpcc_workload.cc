@@ -1,0 +1,189 @@
+#include "workload/tpcc_workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "contract/tpcc_lite.h"
+
+namespace thunderbolt::workload {
+
+namespace {
+
+storage::Value ReadOrZero(const storage::MemKVStore& store,
+                          const std::string& key) {
+  return store.GetOrDefault(key, 0);
+}
+
+/// NewOrder needs kTpccOrderItems *distinct* items, so the pool must be at
+/// least that large (a smaller value would hang the duplicate-slide loop).
+WorkloadOptions ClampTpccOptions(WorkloadOptions options) {
+  options.num_items = std::max<uint32_t>(
+      options.num_items, static_cast<uint32_t>(contract::kTpccOrderItems));
+  return options;
+}
+
+}  // namespace
+
+TpccLiteWorkload::TpccLiteWorkload(const WorkloadOptions& options)
+    : options_(ClampTpccOptions(options)),
+      mapper_(options_.num_shards),
+      rng_(options_.seed),
+      num_customers_(static_cast<uint64_t>(options_.num_warehouses) *
+                     options_.districts_per_warehouse *
+                     options_.customers_per_district),
+      customer_zipf_(num_customers_, options_.theta),
+      item_zipf_(options_.num_items, options_.theta),
+      shard_districts_(options_.num_shards) {
+  uint64_t num_districts = static_cast<uint64_t>(options_.num_warehouses) *
+                           options_.districts_per_warehouse;
+  for (uint64_t i = 0; i < num_districts; ++i) {
+    uint32_t w = static_cast<uint32_t>(i / options_.districts_per_warehouse);
+    uint32_t d = static_cast<uint32_t>(i % options_.districts_per_warehouse);
+    ShardId s = mapper_.ShardOfAccount(DistrictName(w, d));
+    shard_districts_[s].push_back(i);
+  }
+}
+
+std::string TpccLiteWorkload::WarehouseName(uint32_t w) {
+  return "w" + std::to_string(w);
+}
+
+std::string TpccLiteWorkload::DistrictName(uint32_t w, uint32_t d) {
+  return WarehouseName(w) + ".d" + std::to_string(d);
+}
+
+std::string TpccLiteWorkload::CustomerName(uint32_t w, uint32_t d,
+                                           uint32_t c) {
+  return DistrictName(w, d) + ".c" + std::to_string(c);
+}
+
+std::string TpccLiteWorkload::ItemName(uint32_t i) {
+  return "item" + std::to_string(i);
+}
+
+void TpccLiteWorkload::InitStore(storage::MemKVStore* store) const {
+  store->Reserve(store->size() + options_.num_warehouses +
+                 2 * num_customers_ + options_.num_items);
+  for (uint32_t w = 0; w < options_.num_warehouses; ++w) {
+    store->Put(WarehouseName(w) + "/ytd", 0);
+    for (uint32_t d = 0; d < options_.districts_per_warehouse; ++d) {
+      std::string district = DistrictName(w, d);
+      store->Put(district + "/ytd", 0);
+      store->Put(district + "/next_oid", kInitialOrderId);
+      for (uint32_t c = 0; c < options_.customers_per_district; ++c) {
+        std::string customer = CustomerName(w, d, c);
+        store->Put(customer + "/balance", kInitialBalance);
+        if (HasBadCredit(w, d, c)) store->Put(customer + "/credit", 1);
+      }
+    }
+  }
+  for (uint32_t i = 0; i < options_.num_items; ++i) {
+    store->Put(ItemName(i) + "/stock", kInitialStock);
+  }
+}
+
+void TpccLiteWorkload::CustomerAt(uint64_t rank, uint32_t* w, uint32_t* d,
+                                  uint32_t* c) const {
+  *c = static_cast<uint32_t>(rank % options_.customers_per_district);
+  uint64_t district = rank / options_.customers_per_district;
+  *d = static_cast<uint32_t>(district % options_.districts_per_warehouse);
+  *w = static_cast<uint32_t>(district / options_.districts_per_warehouse);
+}
+
+txn::Transaction TpccLiteWorkload::MakePayment(uint32_t w, uint32_t d,
+                                               uint32_t c) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.contract = contract::kTpccPayment;
+  tx.accounts = {WarehouseName(w), DistrictName(w, d), CustomerName(w, d, c)};
+  tx.params.push_back(
+      static_cast<storage::Value>(rng_.NextRange(1, kMaxPaymentAmount)));
+  return tx;
+}
+
+txn::Transaction TpccLiteWorkload::MakeNewOrder(uint32_t w, uint32_t d) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.contract = contract::kTpccNewOrder;
+  tx.accounts.push_back(DistrictName(w, d));
+  // Distinct items, Zipfian-hot; duplicates slide to the next item id so a
+  // tiny item pool still yields kTpccOrderItems distinct accounts.
+  std::set<uint64_t> picked;
+  while (picked.size() < static_cast<size_t>(contract::kTpccOrderItems)) {
+    uint64_t item = item_zipf_.Next(rng_);
+    while (picked.count(item) != 0) item = (item + 1) % options_.num_items;
+    picked.insert(item);
+    tx.accounts.push_back(ItemName(static_cast<uint32_t>(item)));
+    tx.params.push_back(
+        static_cast<storage::Value>(rng_.NextRange(1, kMaxOrderQuantity)));
+  }
+  return tx;
+}
+
+txn::Transaction TpccLiteWorkload::Next() {
+  uint32_t w, d, c;
+  CustomerAt(customer_zipf_.Next(rng_), &w, &d, &c);
+  if (rng_.NextBool(options_.payment_ratio)) return MakePayment(w, d, c);
+  return MakeNewOrder(w, d);
+}
+
+txn::Transaction TpccLiteWorkload::NextForShard(ShardId shard) {
+  const std::vector<uint64_t>& bucket = shard_districts_[shard];
+  uint32_t w, d, c;
+  if (bucket.empty()) {
+    CustomerAt(customer_zipf_.Next(rng_), &w, &d, &c);
+  } else {
+    uint64_t district = bucket[rng_.NextBounded(bucket.size())];
+    w = static_cast<uint32_t>(district / options_.districts_per_warehouse);
+    d = static_cast<uint32_t>(district % options_.districts_per_warehouse);
+    c = static_cast<uint32_t>(
+        rng_.NextBounded(options_.customers_per_district));
+  }
+  if (rng_.NextBool(options_.payment_ratio)) return MakePayment(w, d, c);
+  return MakeNewOrder(w, d);
+}
+
+Status TpccLiteWorkload::CheckInvariant(
+    const storage::MemKVStore& store) const {
+  for (uint32_t w = 0; w < options_.num_warehouses; ++w) {
+    storage::Value district_ytd_sum = 0;
+    storage::Value customer_ytd_sum = 0;
+    for (uint32_t d = 0; d < options_.districts_per_warehouse; ++d) {
+      std::string district = DistrictName(w, d);
+      district_ytd_sum += ReadOrZero(store, district + "/ytd");
+      storage::Value next_oid = ReadOrZero(store, district + "/next_oid");
+      storage::Value order_cnt = ReadOrZero(store, district + "/order_cnt");
+      if (next_oid - kInitialOrderId != order_cnt) {
+        return Status::Corruption(
+            "tpcc_lite: " + district + " issued " +
+            std::to_string(next_oid - kInitialOrderId) +
+            " order ids but recorded " + std::to_string(order_cnt) +
+            " orders");
+      }
+      for (uint32_t c = 0; c < options_.customers_per_district; ++c) {
+        customer_ytd_sum +=
+            ReadOrZero(store, CustomerName(w, d, c) + "/ytd_payment");
+      }
+    }
+    storage::Value warehouse_ytd = ReadOrZero(store, WarehouseName(w) + "/ytd");
+    if (warehouse_ytd != district_ytd_sum ||
+        warehouse_ytd != customer_ytd_sum) {
+      return Status::Corruption(
+          "tpcc_lite: " + WarehouseName(w) + " ytd " +
+          std::to_string(warehouse_ytd) + " != district sum " +
+          std::to_string(district_ytd_sum) + " / customer sum " +
+          std::to_string(customer_ytd_sum));
+    }
+  }
+  for (uint32_t i = 0; i < options_.num_items; ++i) {
+    storage::Value stock = ReadOrZero(store, ItemName(i) + "/stock");
+    if (stock < 0) {
+      return Status::Corruption("tpcc_lite: " + ItemName(i) +
+                                        " stock went negative: " +
+                                        std::to_string(stock));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace thunderbolt::workload

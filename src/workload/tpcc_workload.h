@@ -1,0 +1,94 @@
+// TPC-C-lite workload generation (NewOrder + Payment over the TBVM
+// programs in contract/tpcc_lite.h).
+//
+// Entities and their storage accounts:
+//   warehouse  "w<w>"            keys: ytd
+//   district   "w<w>.d<d>"       keys: ytd, next_oid, order_ytd, order_cnt
+//   customer   "w<w>.d<d>.c<c>"  keys: balance, ytd_payment, payment_cnt,
+//                                      credit (static), penalty
+//   item       "item<i>"         keys: stock
+//
+// Both transaction types derive their warehouse/district from one global
+// Zipfian customer draw, so hot customers concentrate contention on their
+// district and warehouse rows; NewOrders additionally pick kTpccOrderItems
+// distinct items Zipfian (hot items create stock contention). Shard-homed
+// generation (NextForShard) instead picks uniformly within the shard's
+// district bucket. Every payment flows into both its district's and its
+// warehouse's YTD, which yields the invariant CheckInvariant enforces:
+// per warehouse, w/ytd == sum of district ytd == sum of customer
+// ytd_payment, and per district next_oid - 1 == order_cnt.
+#ifndef THUNDERBOLT_WORKLOAD_TPCC_WORKLOAD_H_
+#define THUNDERBOLT_WORKLOAD_TPCC_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+#include "workload/workload.h"
+
+namespace thunderbolt::workload {
+
+class TpccLiteWorkload final : public Workload {
+ public:
+  /// Seeded stock per item: high enough that test-sized runs never trip
+  /// the restock rule (keeping final state order-independent); long bench
+  /// sweeps on hot items still can.
+  static constexpr storage::Value kInitialStock = 100000;
+  static constexpr storage::Value kInitialBalance = 5000;
+  static constexpr storage::Value kInitialOrderId = 1;
+  static constexpr storage::Value kMaxPaymentAmount = 500;
+  static constexpr storage::Value kMaxOrderQuantity = 10;
+
+  explicit TpccLiteWorkload(const WorkloadOptions& options);
+
+  const WorkloadOptions& options() const { return options_; }
+
+  std::string name() const override { return "tpcc_lite"; }
+
+  /// Entity account names.
+  static std::string WarehouseName(uint32_t w);
+  static std::string DistrictName(uint32_t w, uint32_t d);
+  static std::string CustomerName(uint32_t w, uint32_t d, uint32_t c);
+  static std::string ItemName(uint32_t i);
+
+  /// Deterministic static credit rating: ~10% of customers are bad credit
+  /// (drives the Payment penalty branch).
+  static bool HasBadCredit(uint32_t w, uint32_t d, uint32_t c) {
+    return (w + 3 * d + 7 * c) % 10 == 0;
+  }
+
+  void InitStore(storage::MemKVStore* store) const override;
+  txn::Transaction Next() override;
+  txn::Transaction NextForShard(ShardId shard) override;
+  const txn::ShardMapper& mapper() const override { return mapper_; }
+
+  /// YTD consistency (see header comment) plus non-negative stock.
+  Status CheckInvariant(const storage::MemKVStore& store) const override;
+
+  uint64_t num_customers() const { return num_customers_; }
+
+ private:
+  /// Customer by global Zipfian rank -> (w, d, c).
+  void CustomerAt(uint64_t rank, uint32_t* w, uint32_t* d, uint32_t* c) const;
+  txn::Transaction MakePayment(uint32_t w, uint32_t d, uint32_t c);
+  txn::Transaction MakeNewOrder(uint32_t w, uint32_t d);
+
+  WorkloadOptions options_;
+  txn::ShardMapper mapper_;
+  Rng rng_;
+  uint64_t num_customers_;
+  ZipfianGenerator customer_zipf_;
+  ZipfianGenerator item_zipf_;
+  /// District indices (w * districts + d) bucketed by the shard of their
+  /// account, for shard-homed generation.
+  std::vector<std::vector<uint64_t>> shard_districts_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace thunderbolt::workload
+
+#endif  // THUNDERBOLT_WORKLOAD_TPCC_WORKLOAD_H_

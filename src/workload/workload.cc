@@ -1,0 +1,65 @@
+#include "workload/workload.h"
+
+#include "workload/smallbank_workload.h"
+#include "workload/tpcc_workload.h"
+#include "workload/ycsb_workload.h"
+
+namespace thunderbolt::workload {
+
+std::vector<txn::Transaction> Workload::MakeBatch(size_t count) {
+  std::vector<txn::Transaction> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.push_back(Next());
+  return batch;
+}
+
+std::vector<txn::Transaction> Workload::MakeShardBatch(ShardId shard,
+                                                       size_t count) {
+  std::vector<txn::Transaction> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.push_back(NextForShard(shard));
+  return batch;
+}
+
+void WorkloadRegistry::Register(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::Create(
+    const std::string& name, const WorkloadOptions& options) const {
+  auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second(options);
+}
+
+bool WorkloadRegistry::Contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> WorkloadRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  // Built-ins register here (not via static initializers, which static
+  // libraries would dead-strip).
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    r->Register("smallbank", [](const WorkloadOptions& options) {
+      return std::unique_ptr<Workload>(
+          new SmallBankWorkload(SmallBankConfig::FromOptions(options)));
+    });
+    r->Register("ycsb", [](const WorkloadOptions& options) {
+      return std::unique_ptr<Workload>(new YcsbWorkload(options));
+    });
+    r->Register("tpcc_lite", [](const WorkloadOptions& options) {
+      return std::unique_ptr<Workload>(new TpccLiteWorkload(options));
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace thunderbolt::workload

@@ -1,0 +1,127 @@
+// Pluggable workload framework.
+//
+// A Workload owns everything the benchmark driver and the cluster need to
+// exercise an application: how to seed storage, how to draw the next
+// transaction (globally or homed at a shard), and which consistency
+// invariant the final state must satisfy. Every workload runs unchanged
+// against every execution engine — the transactions it emits name contracts
+// resolved through contract::Registry, so engines never see workload
+// specifics.
+//
+// Workloads register by name in WorkloadRegistry (string -> factory over a
+// shared WorkloadOptions), which is how `thunderbolt_bench` sweeps
+// workload x engine combinations without compile-time coupling. Built-ins:
+// "smallbank" (the paper's evaluation workload), "ycsb" (read/update/RMW
+// key-value mix with pluggable key distributions) and "tpcc_lite" (NewOrder
+// + Payment as TBVM contract programs with value-dependent access).
+#ifndef THUNDERBOLT_WORKLOAD_WORKLOAD_H_
+#define THUNDERBOLT_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+
+namespace thunderbolt::workload {
+
+/// One options struct shared by every workload factory so the driver can
+/// configure any of them from the same flag set. Fields a workload does not
+/// understand are ignored (e.g. `distribution` by SmallBank).
+struct WorkloadOptions {
+  /// Population scale: SmallBank accounts, YCSB records. TPC-C-lite derives
+  /// its own table sizes from the warehouse knobs below.
+  uint64_t num_records = 10000;
+  double theta = 0.85;           // Zipfian skew where applicable.
+  double read_ratio = 0.5;       // Fraction of read-only transactions.
+  double cross_shard_ratio = 0;  // Fraction of cross-shard transactions.
+  uint32_t num_shards = 1;
+  uint64_t seed = 42;
+
+  // --- YCSB ---------------------------------------------------------------
+  /// Key distribution: "uniform", "zipfian" or "hotspot".
+  std::string distribution = "zipfian";
+  /// Of the non-read operations, the fraction that are blind updates; the
+  /// remainder are read-modify-writes.
+  double update_ratio = 0.5;
+  /// Hotspot distribution: `hotspot_op_fraction` of operations hit the
+  /// hottest `hotspot_set_fraction` of records (uniform within each side).
+  double hotspot_op_fraction = 0.8;
+  double hotspot_set_fraction = 0.05;
+
+  // --- TPC-C-lite ---------------------------------------------------------
+  uint32_t num_warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 30;
+  uint32_t num_items = 200;
+  /// Fraction of Payment transactions; the remainder are NewOrders.
+  double payment_ratio = 0.5;
+};
+
+/// Abstract workload: transaction source + store seeding + invariant.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Registry name ("smallbank", "ycsb", ...).
+  virtual std::string name() const = 0;
+
+  /// Seeds the initial application state in `store`.
+  virtual void InitStore(storage::MemKVStore* store) const = 0;
+
+  /// Next transaction in the global mix.
+  virtual txn::Transaction Next() = 0;
+
+  /// Next transaction homed at `shard`. Workloads without a sharding notion
+  /// may fall back to the global mix.
+  virtual txn::Transaction NextForShard(ShardId shard) = 0;
+
+  /// Convenience batch generators built on Next()/NextForShard().
+  virtual std::vector<txn::Transaction> MakeBatch(size_t count);
+  virtual std::vector<txn::Transaction> MakeShardBatch(ShardId shard,
+                                                       size_t count);
+
+  /// The account -> shard mapping this workload generates against.
+  virtual const txn::ShardMapper& mapper() const = 0;
+
+  /// Checks the workload's consistency invariant over a final state (e.g.
+  /// SmallBank total-balance conservation, TPC-C-lite YTD consistency).
+  /// Returns OK when the invariant holds, Corruption otherwise.
+  virtual Status CheckInvariant(const storage::MemKVStore& store) const = 0;
+};
+
+/// Name -> factory registry. `Global()` is preloaded with the built-in
+/// workloads; additional workloads can register at startup.
+class WorkloadRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Workload>(const WorkloadOptions&)>;
+
+  /// Registers `factory` under `name`. Overwrites any existing entry.
+  void Register(std::string name, Factory factory);
+
+  /// Instantiates the named workload, or nullptr for unknown names.
+  std::unique_ptr<Workload> Create(const std::string& name,
+                                   const WorkloadOptions& options) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry, preloaded with the built-ins.
+  static WorkloadRegistry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace thunderbolt::workload
+
+#endif  // THUNDERBOLT_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,143 @@
+#include "workload/ycsb_workload.h"
+
+#include <algorithm>
+
+#include "contract/kv.h"
+
+namespace thunderbolt::workload {
+
+namespace {
+
+YcsbWorkload::Distribution ParseDistribution(const std::string& name) {
+  if (name == "uniform") return YcsbWorkload::Distribution::kUniform;
+  if (name == "hotspot") return YcsbWorkload::Distribution::kHotspot;
+  // Default (and explicit "zipfian").
+  return YcsbWorkload::Distribution::kZipfian;
+}
+
+}  // namespace
+
+YcsbWorkload::YcsbWorkload(const WorkloadOptions& options)
+    : options_(options),
+      distribution_(ParseDistribution(options.distribution)),
+      mapper_(options.num_shards),
+      rng_(options.seed),
+      global_zipf_(options.num_records, options.theta),
+      shard_records_(options.num_shards) {
+  hot_set_size_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(options_.num_records) *
+                               options_.hotspot_set_fraction));
+  for (uint64_t i = 0; i < options_.num_records; ++i) {
+    ShardId s = mapper_.ShardOfAccount(RecordName(i));
+    shard_records_[s].push_back(i);
+  }
+  shard_zipf_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    uint64_t n = shard_records_[s].empty() ? 1 : shard_records_[s].size();
+    shard_zipf_.emplace_back(n, options_.theta);
+  }
+}
+
+std::string YcsbWorkload::RecordName(uint64_t i) {
+  return "user" + std::to_string(i);
+}
+
+void YcsbWorkload::InitStore(storage::MemKVStore* store) const {
+  store->Reserve(store->size() + options_.num_records);
+  for (uint64_t i = 0; i < options_.num_records; ++i) {
+    store->Put(contract::KvValueKey(RecordName(i)), kInitialValue);
+  }
+}
+
+uint64_t YcsbWorkload::SampleRank() {
+  switch (distribution_) {
+    case Distribution::kUniform:
+      return rng_.NextBounded(options_.num_records);
+    case Distribution::kZipfian:
+      return global_zipf_.Next(rng_);
+    case Distribution::kHotspot:
+      if (rng_.NextBool(options_.hotspot_op_fraction)) {
+        return rng_.NextBounded(hot_set_size_);
+      }
+      return rng_.NextBounded(options_.num_records);
+  }
+  return 0;  // Unreachable.
+}
+
+uint64_t YcsbWorkload::SampleBucketRank(ShardId shard) {
+  uint64_t bucket_size = shard_records_[shard].size();
+  if (bucket_size == 0) return 0;
+  switch (distribution_) {
+    case Distribution::kUniform:
+      return rng_.NextBounded(bucket_size);
+    case Distribution::kZipfian:
+      return shard_zipf_[shard].Next(rng_);
+    case Distribution::kHotspot: {
+      // Scale the hot set to the bucket, keeping at least one hot record.
+      uint64_t hot =
+          std::max<uint64_t>(1, hot_set_size_ * bucket_size /
+                                    std::max<uint64_t>(1,
+                                                       options_.num_records));
+      if (rng_.NextBool(options_.hotspot_op_fraction)) {
+        return rng_.NextBounded(std::min(hot, bucket_size));
+      }
+      return rng_.NextBounded(bucket_size);
+    }
+  }
+  return 0;  // Unreachable.
+}
+
+txn::Transaction YcsbWorkload::MakeOp(std::string record) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.accounts.push_back(std::move(record));
+  if (rng_.NextBool(options_.read_ratio)) {
+    tx.contract = contract::kKvRead;
+    return tx;
+  }
+  if (rng_.NextBool(options_.update_ratio)) {
+    tx.contract = contract::kKvUpdate;
+    tx.params.push_back(
+        static_cast<storage::Value>(rng_.NextRange(1, kMaxValue)));
+  } else {
+    tx.contract = contract::kKvRmw;
+    tx.params.push_back(
+        static_cast<storage::Value>(rng_.NextRange(1, kMaxDelta)));
+  }
+  return tx;
+}
+
+txn::Transaction YcsbWorkload::Next() {
+  return MakeOp(RecordName(SampleRank()));
+}
+
+txn::Transaction YcsbWorkload::NextForShard(ShardId shard) {
+  const std::vector<uint64_t>& bucket = shard_records_[shard];
+  if (bucket.empty()) return MakeOp(RecordName(0));
+  return MakeOp(RecordName(bucket[SampleBucketRank(shard)]));
+}
+
+Status YcsbWorkload::CheckInvariant(const storage::MemKVStore& store) const {
+  // kv.* contracts only ever write the seeded record keys, so any size
+  // change means an engine manufactured or lost a key.
+  if (store.size() != options_.num_records) {
+    return Status::Corruption(
+        "ycsb: store holds " + std::to_string(store.size()) +
+        " keys, expected " + std::to_string(options_.num_records));
+  }
+  for (uint64_t i = 0; i < options_.num_records; ++i) {
+    auto vv = store.Get(contract::KvValueKey(RecordName(i)));
+    if (!vv.ok()) {
+      return Status::Corruption("ycsb: record " + RecordName(i) +
+                                        " disappeared");
+    }
+    if (vv->value < 0) {
+      return Status::Corruption(
+          "ycsb: record " + RecordName(i) + " went negative: " +
+          std::to_string(vv->value));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace thunderbolt::workload

@@ -1,0 +1,79 @@
+// YCSB-KV workload: a configurable read / blind-update / read-modify-write
+// mix over N single-key records, with uniform, Zipfian or hotspot key
+// selection. This is the knob-heavy counterpart to SmallBank: batch
+// scheduling quality is dominated by mix and skew, and YCSB lets the bench
+// driver sweep both independently of transaction structure.
+//
+// Records are accounts "user<i>" (rank 0 hottest under skewed
+// distributions), each holding one "user<i>/value" key initialized to
+// kInitialValue. Operations are the kv.* contracts (contract/kv.h).
+#ifndef THUNDERBOLT_WORKLOAD_YCSB_WORKLOAD_H_
+#define THUNDERBOLT_WORKLOAD_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "storage/kv_store.h"
+#include "txn/transaction.h"
+#include "workload/workload.h"
+
+namespace thunderbolt::workload {
+
+class YcsbWorkload final : public Workload {
+ public:
+  enum class Distribution { kUniform, kZipfian, kHotspot };
+
+  /// Every record starts at this value; updates write in [1, kMaxValue] and
+  /// RMWs add deltas in [1, kMaxDelta], so values stay non-negative — the
+  /// invariant CheckInvariant enforces.
+  static constexpr storage::Value kInitialValue = 100;
+  static constexpr storage::Value kMaxValue = 1000;
+  static constexpr storage::Value kMaxDelta = 5;
+
+  explicit YcsbWorkload(const WorkloadOptions& options);
+
+  const WorkloadOptions& options() const { return options_; }
+  Distribution distribution() const { return distribution_; }
+
+  std::string name() const override { return "ycsb"; }
+
+  /// Record (account) name for hotness rank `i`.
+  static std::string RecordName(uint64_t i);
+
+  void InitStore(storage::MemKVStore* store) const override;
+  txn::Transaction Next() override;
+  txn::Transaction NextForShard(ShardId shard) override;
+  const txn::ShardMapper& mapper() const override { return mapper_; }
+
+  /// All records still exist, the store holds exactly the seeded keys (no
+  /// strays appeared), and every value is non-negative (update/RMW
+  /// arguments are positive). Assumes the store was seeded by InitStore
+  /// alone — YCSB owns its whole keyspace.
+  Status CheckInvariant(const storage::MemKVStore& store) const override;
+
+ private:
+  /// Hotness rank in [0, num_records) under the configured distribution.
+  uint64_t SampleRank();
+  /// Rank within `bucket_size` records (per-shard sampling).
+  uint64_t SampleBucketRank(ShardId shard);
+  txn::Transaction MakeOp(std::string record);
+
+  WorkloadOptions options_;
+  Distribution distribution_;
+  txn::ShardMapper mapper_;
+  Rng rng_;
+  ZipfianGenerator global_zipf_;
+  uint64_t hot_set_size_;
+  /// Records bucketed by shard in global hotness order (skew-preserving
+  /// per-shard sampling, mirroring SmallBankWorkload).
+  std::vector<std::vector<uint64_t>> shard_records_;
+  std::vector<ZipfianGenerator> shard_zipf_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace thunderbolt::workload
+
+#endif  // THUNDERBOLT_WORKLOAD_YCSB_WORKLOAD_H_

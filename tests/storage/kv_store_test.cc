@@ -59,6 +59,54 @@ TEST(MemKVStoreTest, FingerprintDetectsDivergence) {
   EXPECT_NE(a.ContentFingerprint(), b.ContentFingerprint());
 }
 
+TEST(MemKVStoreTest, CloneCarriesVersionsAndFingerprint) {
+  MemKVStore store;
+  store.Put("x", 1);
+  store.Put("x", 2);  // version 2
+  store.Put("y", 7);
+  MemKVStore copy = store.Clone();
+  EXPECT_EQ(copy.size(), store.size());
+  EXPECT_EQ(copy.ContentFingerprint(), store.ContentFingerprint());
+  auto vv = copy.Get("x");
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->value, 2);
+  EXPECT_EQ(vv->version, 2u);
+}
+
+TEST(MemKVStoreTest, ReserveDoesNotChangeContent) {
+  MemKVStore store;
+  store.Put("a", 1);
+  uint64_t before = store.ContentFingerprint();
+  store.Reserve(10000);
+  EXPECT_EQ(store.ContentFingerprint(), before);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MemKVStoreTest, BatchWithDuplicateKeysBumpsVersionPerEntry) {
+  MemKVStore store;
+  WriteBatch batch;
+  batch.Put("k", 1);
+  batch.Put("k", 2);  // Last write wins; both bump the version.
+  ASSERT_TRUE(store.Write(batch).ok());
+  auto vv = store.Get("k");
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->value, 2);
+  EXPECT_EQ(vv->version, 2u);
+}
+
+TEST(MemKVStoreTest, BatchMixesFreshAndLiveKeys) {
+  MemKVStore store;
+  store.Put("live", 1);
+  WriteBatch batch;
+  batch.Put("live", 2);
+  batch.Put("fresh", 3);
+  ASSERT_TRUE(store.Write(batch).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.GetOrDefault("live", 0), 2);
+  EXPECT_EQ(store.Get("live")->version, 2u);
+  EXPECT_EQ(store.Get("fresh")->version, 1u);
+}
+
 TEST(MemKVStoreTest, EmptyBatchIsNoop) {
   MemKVStore store;
   WriteBatch batch;

@@ -1,0 +1,121 @@
+// YCSB-KV workload generator tests: mix ratios, key distributions,
+// determinism under a fixed seed, and the store invariant.
+#include "workload/ycsb_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "contract/kv.h"
+#include "testutil/testutil.h"
+
+namespace thunderbolt::workload {
+namespace {
+
+WorkloadOptions SmallOptions(uint64_t seed, const std::string& distribution) {
+  WorkloadOptions options;
+  options.num_records = 500;
+  options.seed = seed;
+  options.distribution = distribution;
+  return options;
+}
+
+TEST(YcsbWorkloadTest, InitStoreSeedsEveryRecord) {
+  WorkloadOptions options = SmallOptions(70, "zipfian");
+  YcsbWorkload w(options);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  EXPECT_EQ(store.size(), options.num_records);
+  EXPECT_EQ(store.GetOrDefault(contract::KvValueKey("user0"), -1),
+            YcsbWorkload::kInitialValue);
+  EXPECT_TRUE(w.CheckInvariant(store).ok());
+}
+
+TEST(YcsbWorkloadTest, MixRespectsRatios) {
+  WorkloadOptions options = SmallOptions(71, "uniform");
+  options.read_ratio = 0.6;
+  options.update_ratio = 0.5;  // Of the remaining 40%: half updates.
+  YcsbWorkload w(options);
+  std::map<std::string, int> counts;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[w.Next().contract];
+  EXPECT_NEAR(counts[contract::kKvRead], kN * 0.6, kN * 0.03);
+  EXPECT_NEAR(counts[contract::kKvUpdate], kN * 0.2, kN * 0.03);
+  EXPECT_NEAR(counts[contract::kKvRmw], kN * 0.2, kN * 0.03);
+}
+
+TEST(YcsbWorkloadTest, ZipfianSkewsTowardHotRecords) {
+  WorkloadOptions options = SmallOptions(72, "zipfian");
+  options.theta = 0.9;
+  YcsbWorkload w(options);
+  int hot = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    // Ranks 0..9 of 500 records are "user0".."user9" (5 chars).
+    txn::Transaction tx = w.Next();
+    if (tx.accounts[0].size() <= 5) ++hot;
+  }
+  // Under theta=0.9 the top-10 ranks draw far more than the uniform 2%.
+  EXPECT_GT(hot, kN / 10);
+}
+
+TEST(YcsbWorkloadTest, HotspotConcentratesOnHotSet) {
+  WorkloadOptions options = SmallOptions(73, "hotspot");
+  options.hotspot_op_fraction = 0.9;
+  options.hotspot_set_fraction = 0.02;  // 10 of 500 records.
+  YcsbWorkload w(options);
+  int hot = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (w.Next().accounts[0].size() <= 5) ++hot;  // "user0".."user9"
+  }
+  // ~90% directed at the hot set (+ ~2% of the uniform remainder).
+  EXPECT_GT(hot, kN * 8 / 10);
+}
+
+TEST(YcsbWorkloadTest, UniformSpreadsAcrossRecords) {
+  WorkloadOptions options = SmallOptions(74, "uniform");
+  YcsbWorkload w(options);
+  int hot = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (w.Next().accounts[0].size() <= 5) ++hot;
+  }
+  // 10/500 records = 2% expected.
+  EXPECT_LT(hot, kN / 10);
+}
+
+TEST(YcsbWorkloadTest, FixedSeedIsDeterministic) {
+  YcsbWorkload a(SmallOptions(75, "zipfian"));
+  YcsbWorkload b(SmallOptions(75, "zipfian"));
+  for (int i = 0; i < 200; ++i) {
+    txn::Transaction ta = a.Next();
+    txn::Transaction tb = b.Next();
+    EXPECT_EQ(ta.Digest(), tb.Digest()) << "diverged at " << i;
+  }
+}
+
+TEST(YcsbWorkloadTest, ShardBatchesStayHome) {
+  WorkloadOptions options = SmallOptions(76, "zipfian");
+  options.num_shards = 4;
+  YcsbWorkload w(options);
+  for (ShardId s = 0; s < 4; ++s) {
+    for (const txn::Transaction& tx : w.MakeShardBatch(s, 50)) {
+      EXPECT_EQ(w.mapper().ShardOfAccount(tx.accounts[0]), s);
+    }
+  }
+}
+
+TEST(YcsbWorkloadTest, InvariantCatchesMissingAndNegativeRecords) {
+  WorkloadOptions options = SmallOptions(77, "uniform");
+  options.num_records = 10;
+  YcsbWorkload w(options);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  ASSERT_TRUE(w.CheckInvariant(store).ok());
+  store.Put(contract::KvValueKey("user3"), -1);
+  EXPECT_FALSE(w.CheckInvariant(store).ok());
+}
+
+}  // namespace
+}  // namespace thunderbolt::workload
