@@ -1,6 +1,7 @@
 // Ablation: rule-P4 immediate conversion vs section-5.4 Skip-block
 // deferral for conflicting single-shard transactions (DESIGN.md section
-// 2.3). 8 replicas, SmallBank, varying cross-shard pressure.
+// 2.3). 8 replicas, varying cross-shard pressure; SmallBank by default,
+// `--workload <name>` for any registered workload.
 //
 // Expectation: conversion keeps the pipeline busy (conflicting work moves
 // to the OE path immediately); deferral preserves more preplay (higher
@@ -13,11 +14,15 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const SimTime duration =
       bench::QuickMode(argc, argv) ? Seconds(2) : Seconds(4);
+  workload::WorkloadOptions options;
+  const std::string workload_name = bench::ClusterWorkloadFromFlags(
+      argc, argv, &options, /*seed=*/312, {"cross_shard_ratio"});
   bench::Banner(
       "Ablation", "P4 immediate conversion vs 5.4 Skip-block deferral",
       "conversion mode sustains throughput via the OE path; skip mode "
       "preserves a higher preplayed share but emits Skip blocks and "
       "defers conflicting work");
+  std::printf("workload: %s\n", workload_name.c_str());
   bench::Table table({"mode", "cross%", "tput(tps)", "latency(s)",
                       "single", "cross", "converted", "skips"});
   for (bool use_skip : {false, true}) {
@@ -27,13 +32,8 @@ int main(int argc, char** argv) {
       cfg.batch_size = 500;
       cfg.use_skip_blocks = use_skip;
       cfg.seed = 311;
-      workload::SmallBankConfig wc;
-      wc.num_accounts = 1000;
-      wc.theta = 0.85;
-      wc.read_ratio = 0.5;
-      wc.cross_shard_ratio = pct;
-      wc.seed = 312;
-      core::Cluster cluster(cfg, wc);
+      options.cross_shard_ratio = pct;
+      core::Cluster cluster(cfg, workload_name, options);
       core::ClusterResult r = cluster.Run(duration);
       table.Row({use_skip ? "skip-5.4" : "convert-P4",
                  bench::Fmt(pct * 100, 0), bench::Fmt(r.throughput_tps, 0),

@@ -1,6 +1,9 @@
 // Figure 13: system scalability — Thunderbolt vs Thunderbolt-OCC vs Tusk
-// on 8..64 replicas, LAN and WAN, SmallBank Pr = 0.5, 1000 accounts,
-// theta = 0.85, batch 500, 16 executors + 16 validators per replica.
+// on 8..64 replicas, LAN and WAN, batch 500, 16 executors + 16 validators
+// per replica. Defaults to the paper's SmallBank setup (Pr = 0.5, 1000
+// accounts, theta = 0.85); `--workload ycsb|tpcc_lite` (plus optional
+// `--params k=v,...`) re-runs the sweep on any registered workload, so
+// scalability is measured as workload x engine x cluster-size.
 //
 // Also prints the paper's headline: Thunderbolt's speedup over serial
 // Tusk execution at the largest scale (paper: ~50x at 64 replicas).
@@ -16,7 +19,9 @@ struct RunOut {
 };
 
 RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
-              SimTime warmup, SimTime duration) {
+              const std::string& workload_name,
+              const workload::WorkloadOptions& options, SimTime warmup,
+              SimTime duration) {
   core::ThunderboltConfig cfg;
   cfg.n = n;
   cfg.mode = mode;
@@ -25,13 +30,8 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
   cfg.num_validators = 16;
   cfg.latency = wan ? net::LatencyModel::Wan() : net::LatencyModel::Lan();
   cfg.seed = 77;
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 1000;
-  wc.theta = 0.85;
-  wc.read_ratio = 0.5;
-  wc.seed = 78;
 
-  core::Cluster cluster(cfg, wc);
+  core::Cluster cluster(cfg, workload_name, options);
   cluster.Run(warmup);  // Excluded: pipeline fill / first commits.
   core::ClusterResult r = cluster.Run(duration);
   return RunOut{r.throughput_tps, r.avg_latency_s};
@@ -43,12 +43,16 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
 int main(int argc, char** argv) {
   using namespace thunderbolt;
   const bool quick = bench::QuickMode(argc, argv);
+  workload::WorkloadOptions options;
+  const std::string workload_name =
+      bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/78);
   bench::Banner(
       "Figure 13", "throughput & latency vs replica count (LAN and WAN)",
       "Thunderbolt scales with replicas and beats Tusk by ~50x at 64 "
       "replicas; Thunderbolt-OCC tracks Thunderbolt but lags at scale; "
       "Tusk throughput stays flat (~11K tps) with latency growing to "
       "~100 s; WAN shows the same ordering with higher latencies");
+  std::printf("workload: %s\n", workload_name.c_str());
 
   const core::ExecutionMode modes[] = {core::ExecutionMode::kThunderbolt,
                                        core::ExecutionMode::kThunderboltOcc,
@@ -68,7 +72,8 @@ int main(int argc, char** argv) {
         SimTime warmup = wan ? Seconds(2) : Seconds(1);
         SimTime duration = quick ? Seconds(n >= 64 ? 2 : 3)
                                  : Seconds(n >= 32 ? 3 : 5);
-        RunOut out = RunOne(modes[mi], n, wan, warmup, duration);
+        RunOut out = RunOne(modes[mi], n, wan, workload_name, options,
+                            warmup, duration);
         table.Row({mode_names[mi], bench::FmtInt(n), bench::Fmt(out.tps, 0),
                    bench::Fmt(out.latency_s, 2)});
         if (!wan && n == 64) {

@@ -1,12 +1,16 @@
 // Figure 14: throughput & latency vs fraction of cross-shard transactions
 // (P%) on 16 replicas, for Thunderbolt, Thunderbolt-OCC and Tusk.
+// `--workload ycsb|tpcc_lite` re-runs the sweep on any registered workload
+// (each honors cross_shard_ratio through its own cross-shard generator).
 #include "bench/bench_util.h"
 #include "core/cluster.h"
 
 namespace thunderbolt {
 namespace {
 
-void RunSweep(core::ExecutionMode mode, const char* name, SimTime duration,
+void RunSweep(core::ExecutionMode mode, const char* name,
+              const std::string& workload_name,
+              workload::WorkloadOptions options, SimTime duration,
               bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
@@ -14,13 +18,8 @@ void RunSweep(core::ExecutionMode mode, const char* name, SimTime duration,
     cfg.mode = mode;
     cfg.batch_size = 500;
     cfg.seed = 90;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 1000;
-    wc.theta = 0.85;
-    wc.read_ratio = 0.5;
-    wc.cross_shard_ratio = pct;
-    wc.seed = 91;
-    core::Cluster cluster(cfg, wc);
+    options.cross_shard_ratio = pct;
+    core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
     table.Row({name, bench::Fmt(pct * 100, 0), bench::Fmt(r.throughput_tps, 0),
                bench::Fmt(r.avg_latency_s, 2),
@@ -37,6 +36,9 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const SimTime duration =
       bench::QuickMode(argc, argv) ? Seconds(2) : Seconds(5);
+  workload::WorkloadOptions options;
+  const std::string workload_name = bench::ClusterWorkloadFromFlags(
+      argc, argv, &options, /*seed=*/91, {"cross_shard_ratio"});
   bench::Banner(
       "Figure 14", "cross-shard transaction ratio sweep on 16 replicas",
       "both Thunderbolt variants decline as P grows; at P=8% Thunderbolt "
@@ -44,11 +46,14 @@ int main(int argc, char** argv) {
       "Tusk (~19K vs ~10K tps in the paper) thanks to SID-parallel OE "
       "execution; Thunderbolt latency roughly half of Thunderbolt-OCC "
       "under high contention");
+  std::printf("workload: %s\n", workload_name.c_str());
   bench::Table table({"system", "cross%", "tput(tps)", "latency(s)",
                       "single", "cross", "converted", "skips"});
-  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", duration, table);
-  RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC", duration,
-           table);
-  RunSweep(core::ExecutionMode::kTusk, "Tusk", duration, table);
+  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", workload_name,
+           options, duration, table);
+  RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC",
+           workload_name, options, duration, table);
+  RunSweep(core::ExecutionMode::kTusk, "Tusk", workload_name, options,
+           duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig14");
 }

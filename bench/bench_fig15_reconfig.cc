@@ -1,6 +1,7 @@
 // Figure 15: throughput & latency vs reconfiguration period K' on 8
 // replicas. Small K' forces frequent non-blocking DAG switches; large K'
-// amortizes the switch cost.
+// amortizes the switch cost. `--workload <name>` sweeps any registered
+// workload.
 #include "bench/bench_util.h"
 #include "core/cluster.h"
 
@@ -8,11 +9,15 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const SimTime duration =
       bench::QuickMode(argc, argv) ? Seconds(3) : Seconds(10);
+  workload::WorkloadOptions options;
+  const std::string workload_name =
+      bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/56);
   bench::Banner(
       "Figure 15", "reconfiguration period K' sweep on 8 replicas",
       "throughput lower at K'=10 (frequent DAG transitions discard the "
       "two-round uncommitted tail) and stabilizes as K' grows past ~1000; "
       "average latency decreases slightly with larger K'");
+  std::printf("workload: %s\n", workload_name.c_str());
   bench::Table table({"K'", "tput(tps)", "latency(s)", "reconfigs",
                       "shift-blocks"});
   for (Round k_prime : {10ull, 100ull, 500ull, 1000ull, 5000ull}) {
@@ -21,12 +26,7 @@ int main(int argc, char** argv) {
     cfg.batch_size = 500;
     cfg.reconfig_period_k_prime = k_prime;
     cfg.seed = 55;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 1000;
-    wc.theta = 0.85;
-    wc.read_ratio = 0.5;
-    wc.seed = 56;
-    core::Cluster cluster(cfg, wc);
+    core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
     table.Row({bench::FmtInt(k_prime), bench::Fmt(r.throughput_tps, 0),
                bench::Fmt(r.avg_latency_s, 2),

@@ -1,6 +1,7 @@
 // Figure 16: average commit runtime per 100 committed leader rounds with
 // K' = 300, on 8 replicas. Demonstrates that the system does not stall
 // across non-blocking reconfigurations: per-round runtime stays flat.
+// `--workload <name>` sweeps any registered workload.
 #include "bench/bench_util.h"
 #include "core/cluster.h"
 
@@ -8,22 +9,21 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const SimTime duration =
       bench::QuickMode(argc, argv) ? Seconds(8) : Seconds(30);
+  workload::WorkloadOptions options;
+  const std::string workload_name =
+      bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/66);
   bench::Banner(
       "Figure 16", "per-100-round commit runtime across reconfigurations",
       "runtime per round stays in a tight band (paper: 0.07-0.1 s) with no "
       "stall at reconfiguration boundaries (K'=300)");
+  std::printf("workload: %s\n", workload_name.c_str());
 
   core::ThunderboltConfig cfg;
   cfg.n = 8;
   cfg.batch_size = 500;
   cfg.reconfig_period_k_prime = 300;
   cfg.seed = 65;
-  workload::SmallBankConfig wc;
-  wc.num_accounts = 1000;
-  wc.theta = 0.85;
-  wc.read_ratio = 0.5;
-  wc.seed = 66;
-  core::Cluster cluster(cfg, wc);
+  core::Cluster cluster(cfg, workload_name, options);
   core::ClusterResult r = cluster.Run(duration);
 
   bench::Table table({"commits", "avg-round-time(s)"});

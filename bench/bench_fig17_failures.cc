@@ -1,6 +1,7 @@
 // Figure 17: throughput & latency vs cross-shard ratio on 16 replicas when
 // f replicas (f = 1 or 2) crash during the run, compared with the failure-
-// free Thunderbolt and Tusk.
+// free Thunderbolt and Tusk. `--workload <name>` sweeps any registered
+// workload.
 #include "bench/bench_util.h"
 #include "core/cluster.h"
 
@@ -8,20 +9,17 @@ namespace thunderbolt {
 namespace {
 
 void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
-              SimTime duration, bench::Table& table) {
+              const std::string& workload_name,
+              workload::WorkloadOptions options, SimTime duration,
+              bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
     cfg.n = 16;
     cfg.mode = mode;
     cfg.batch_size = 500;
     cfg.seed = 101;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 1000;
-    wc.theta = 0.85;
-    wc.read_ratio = 0.5;
-    wc.cross_shard_ratio = pct;
-    wc.seed = 102;
-    core::Cluster cluster(cfg, wc);
+    options.cross_shard_ratio = pct;
+    core::Cluster cluster(cfg, workload_name, options);
     // Crash the highest-numbered replicas shortly after startup (the
     // observer, replica 0, must stay alive).
     for (uint32_t i = 0; i < failures; ++i) {
@@ -42,20 +40,25 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const SimTime duration =
       bench::QuickMode(argc, argv) ? Seconds(2) : Seconds(5);
+  workload::WorkloadOptions options;
+  const std::string workload_name = bench::ClusterWorkloadFromFlags(
+      argc, argv, &options, /*seed=*/102, {"cross_shard_ratio"});
   bench::Banner(
       "Figure 17", "replica failures (f = 1, 2) on 16 replicas",
       "Thunderbolt keeps committing with crashed replicas: throughput "
       "drops roughly in proportion to lost shards (paper: 78K/66K tps at "
       "P=0 for f=1/f=2 vs 100K failure-free; 17K/15K at P=100%) while "
       "latency stays stable thanks to DAG leader rotation");
+  std::printf("workload: %s\n", workload_name.c_str());
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
-  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0, duration,
-           table);
-  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1, duration,
-           table);
-  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2, duration,
-           table);
-  RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, duration, table);
+  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
+           workload_name, options, duration, table);
+  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
+           workload_name, options, duration, table);
+  RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
+           workload_name, options, duration, table);
+  RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
+           duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig17");
 }

@@ -8,10 +8,14 @@
 #define THUNDERBOLT_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "workload/workload.h"
 
 namespace thunderbolt::bench {
 
@@ -193,6 +197,63 @@ inline std::string FlagValue(int argc, char** argv, const std::string& name) {
     if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
   }
   return "";
+}
+
+/// Exits with code 2 when `spec` (a `k=v,...` param string) assigns any
+/// of the `reserved` keys. Drivers reserve the axes their own flags or
+/// sweep loops control: accepting such an override and then clobbering
+/// it in the sweep would mislabel the emitted series.
+inline void RejectReservedParams(const std::string& spec,
+                                 std::initializer_list<const char*> reserved) {
+  for (const char* key : reserved) {
+    const std::string needle = std::string(key) + "=";
+    for (size_t pos = spec.find(needle); pos != std::string::npos;
+         pos = spec.find(needle, pos + 1)) {
+      if (pos == 0 || spec[pos - 1] == ',') {
+        std::fprintf(stderr,
+                     "--params may not set \"%s\": this driver owns that "
+                     "axis (use its dedicated flag or sweep)\n",
+                     key);
+        std::exit(2);
+      }
+    }
+  }
+}
+
+/// Shared `--workload <name>` / `--params <k=v,...>` handling for the
+/// cluster figure binaries: seeds `options` with the paper's shared
+/// defaults (1000 records, theta 0.85, Pr 0.5, the figure's `seed`),
+/// then returns the registry workload name (default "smallbank") after
+/// applying any `--params` overrides — so every sharded bench sweeps
+/// workload x engine x cluster-size from one flag set. Keys listed in
+/// `reserved` (axes the figure itself sweeps) are rejected. Exits with
+/// code 2 on an unknown name or malformed params — a typo must not
+/// silently bench the wrong configuration.
+inline std::string ClusterWorkloadFromFlags(
+    int argc, char** argv, workload::WorkloadOptions* options, uint64_t seed,
+    std::initializer_list<const char*> reserved = {}) {
+  options->num_records = 1000;
+  options->theta = 0.85;
+  options->read_ratio = 0.5;
+  options->seed = seed;
+  std::string name = FlagValue(argc, argv, "workload");
+  if (name.empty()) name = "smallbank";
+  if (!workload::WorkloadRegistry::Global().Contains(name)) {
+    std::fprintf(stderr, "unknown workload \"%s\"; registered:", name.c_str());
+    for (const std::string& n : workload::WorkloadRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  const std::string spec = FlagValue(argc, argv, "params");
+  RejectReservedParams(spec, reserved);
+  Status s = workload::ApplyWorkloadParams(spec, options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bad --params: %s\n", s.ToString().c_str());
+    std::exit(2);
+  }
+  return name;
 }
 
 /// Shared `--json <path>` handling for the figure binaries: when the flag

@@ -17,6 +17,7 @@
 //   --executors <n>          simulated executors             [8]
 //   --runs <n>               batches per configuration       [5]
 //   --records <n>            population scale                [10000]
+//   --params <k=v,...>       extra WorkloadOptions overrides []
 //   --json <path>            output path          [thunderbolt_bench.json]
 //   --smoke                  shrink everything for CI
 //   --list                   print registered workloads and exit
@@ -46,6 +47,8 @@ struct DriverConfig {
   uint32_t executors = 8;
   uint32_t runs = 5;
   uint64_t records = 10000;
+  /// Raw `--params` overrides, applied after the flag-derived fields.
+  std::string params;
   std::string json_path = "thunderbolt_bench.json";
 };
 
@@ -105,6 +108,8 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   options.customers_per_district =
       static_cast<uint32_t>(config.records / 100 + 10);
   options.num_items = static_cast<uint32_t>(config.records / 50 + 20);
+  THUNDERBOLT_RETURN_NOT_OK(
+      workload::ApplyWorkloadParams(config.params, &options));
 
   auto w = workload::WorkloadRegistry::Global().Create(workload_name, options);
   if (w == nullptr) {
@@ -261,6 +266,11 @@ DriverConfig ParseFlags(int argc, char** argv) {
       std::exit(2);
     }
   }
+  config.params = bench::FlagValue(argc, argv, "params");
+  // The driver's own flags/sweep own these axes; a --params override would
+  // be clobbered per cell and mislabel the JSON series.
+  bench::RejectReservedParams(config.params,
+                              {"theta", "num_records", "num_accounts"});
   std::string json = bench::FlagValue(argc, argv, "json");
   if (!json.empty()) config.json_path = json;
   // Smoke shrinks only what the user didn't set explicitly.

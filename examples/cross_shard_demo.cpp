@@ -28,10 +28,10 @@ int main() {
     core::ThunderboltConfig cfg;
     cfg.n = 4;
     cfg.batch_size = 200;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 1000;
+    workload::WorkloadOptions wc;
+    wc.num_records = 1000;
     wc.cross_shard_ratio = pct;
-    core::Cluster cluster(cfg, wc);
+    core::Cluster cluster(cfg, "smallbank", wc);
     core::ClusterResult r = cluster.Run(Seconds(4));
     std::printf("%8.0f %12.0f %12llu %12llu %12llu\n", pct * 100,
                 r.throughput_tps, (unsigned long long)r.committed_single,

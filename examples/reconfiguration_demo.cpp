@@ -40,9 +40,7 @@ int main() {
     cfg.n = 4;
     cfg.batch_size = 100;
     cfg.reconfig_period_k_prime = 12;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 800;
-    core::Cluster cluster(cfg, wc);
+    core::Cluster cluster(cfg, "smallbank", "num_accounts=800");
     core::ClusterResult r = cluster.Run(Seconds(8));
     Report("periodic rotation", r, cluster);
     if (r.reconfigurations == 0) {
@@ -57,9 +55,7 @@ int main() {
     cfg.n = 4;
     cfg.batch_size = 100;
     cfg.silence_rounds_k = 6;
-    workload::SmallBankConfig wc;
-    wc.num_accounts = 800;
-    core::Cluster cluster(cfg, wc);
+    core::Cluster cluster(cfg, "smallbank", "num_accounts=800");
     // Replica 2 goes silent early on: its shard stalls until the honest
     // majority rotates it away.
     cluster.CrashReplicaAt(2, Millis(500));

@@ -53,6 +53,30 @@ class KvRmwContract final : public Contract {
   }
 };
 
+class KvTransferContract final : public Contract {
+ public:
+  Status Execute(const Transaction& tx, ContractContext& ctx) const override {
+    THUNDERBOLT_RETURN_NOT_OK(RequireArgs(tx, 2, 1));
+    const Key src = KvValueKey(tx.accounts[0]);
+    const Key dst = KvValueKey(tx.accounts[1]);
+    if (src == dst) {
+      // Self-transfer is a no-op; falling through would apply both writes
+      // to one key and mint `amount` out of thin air.
+      ctx.EmitResult(0);
+      return Status::OK();
+    }
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value src_value, ctx.Read(src));
+    THUNDERBOLT_ASSIGN_OR_RETURN(Value dst_value, ctx.Read(dst));
+    // Clamp at the source balance so records never go negative.
+    Value amount = tx.params[0] < src_value ? tx.params[0] : src_value;
+    if (amount < 0) amount = 0;
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(src, src_value - amount));
+    THUNDERBOLT_RETURN_NOT_OK(ctx.Write(dst, dst_value + amount));
+    ctx.EmitResult(amount);
+    return Status::OK();
+  }
+};
+
 }  // namespace
 
 std::string KvValueKey(const std::string& record) {
@@ -63,6 +87,7 @@ void RegisterKv(Registry& registry) {
   registry.Register(kKvRead, std::make_unique<KvReadContract>());
   registry.Register(kKvUpdate, std::make_unique<KvUpdateContract>());
   registry.Register(kKvRmw, std::make_unique<KvRmwContract>());
+  registry.Register(kKvTransfer, std::make_unique<KvTransferContract>());
 }
 
 }  // namespace thunderbolt::contract

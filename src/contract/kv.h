@@ -4,13 +4,18 @@
 // shard of an operation is derived from its record argument exactly like
 // SmallBank accounts. Three operations cover the YCSB core mixes:
 //
-//   kv.read    accounts: [r]   params: []       read value, emit it
-//   kv.update  accounts: [r]   params: [v]      blind write of v
-//   kv.rmw     accounts: [r]   params: [delta]  read, add delta, write
+//   kv.read      accounts: [r]      params: []       read value, emit it
+//   kv.update    accounts: [r]      params: [v]      blind write of v
+//   kv.rmw       accounts: [r]      params: [delta]  read, add delta, write
+//   kv.transfer  accounts: [a, b]   params: [delta]  move min(delta, a)
+//                                                    from a to b (no-op
+//                                                    when a == b)
 //
 // kv.rmw is the contended read-modify-write that distinguishes engines
 // under skew; its increments commute, which the cross-engine agreement
-// tests rely on.
+// tests rely on. kv.transfer is the two-record operation the sharded
+// cluster uses for YCSB cross-shard traffic: it clamps at the source
+// balance, so values never go negative and the total sum is conserved.
 #ifndef THUNDERBOLT_CONTRACT_KV_H_
 #define THUNDERBOLT_CONTRACT_KV_H_
 
@@ -27,6 +32,7 @@ void RegisterKv(Registry& registry);
 inline constexpr char kKvRead[] = "kv.read";
 inline constexpr char kKvUpdate[] = "kv.update";
 inline constexpr char kKvRmw[] = "kv.rmw";
+inline constexpr char kKvTransfer[] = "kv.transfer";
 
 /// The storage key holding `record`'s value.
 std::string KvValueKey(const std::string& record);

@@ -1,20 +1,44 @@
 #include "core/cluster.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace thunderbolt::core {
 
-Cluster::Cluster(ThunderboltConfig config,
-                 workload::SmallBankConfig workload_config)
+namespace {
+
+/// Parses `spec` over WorkloadOptions defaults, aborting on malformed
+/// params (cluster construction is configuration; see Cluster ctor docs).
+workload::WorkloadOptions OptionsFromParams(const std::string& spec) {
+  workload::WorkloadOptions options;
+  Status s = workload::ApplyWorkloadParams(spec, &options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "Cluster: bad workload params \"%s\": %s\n",
+                 spec.c_str(), s.ToString().c_str());
+    std::abort();
+  }
+  return options;
+}
+
+}  // namespace
+
+Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
+                 workload::WorkloadOptions options)
     : config_(config) {
-  workload_config.num_shards = config_.n;
+  options.num_shards = config_.n;
   simulator_ = std::make_unique<sim::Simulator>();
   network_ = std::make_unique<net::SimNetwork>(simulator_.get(), config_.n,
                                                config_.latency, config_.seed);
   keys_ = crypto::KeyDirectory::Create(config_.n, config_.seed);
   registry_ = contract::Registry::CreateDefault();
   workload_ =
-      std::make_unique<workload::SmallBankWorkload>(workload_config);
+      workload::WorkloadRegistry::Global().Create(workload_name, options);
+  if (workload_ == nullptr) {
+    std::fprintf(stderr, "Cluster: unknown workload \"%s\"\n",
+                 workload_name.c_str());
+    std::abort();
+  }
   shared_ = std::make_unique<SharedClusterState>();
   workload_->InitStore(&shared_->canonical);
   metrics_ = std::make_unique<ClusterMetrics>();
@@ -27,6 +51,10 @@ Cluster::Cluster(ThunderboltConfig config,
         /*is_observer=*/id == 0));
   }
 }
+
+Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
+                 const std::string& workload_params)
+    : Cluster(config, workload_name, OptionsFromParams(workload_params)) {}
 
 Cluster::~Cluster() = default;
 

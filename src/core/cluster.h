@@ -6,12 +6,13 @@
 #define THUNDERBOLT_CORE_CLUSTER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/simulator.h"
 #include "core/config.h"
 #include "core/node.h"
-#include "workload/smallbank_workload.h"
+#include "workload/workload.h"
 
 namespace thunderbolt::core {
 
@@ -36,10 +37,20 @@ struct ClusterResult {
 
 class Cluster {
  public:
-  /// `workload_config.num_shards` is forced to `config.n` (one shard per
-  /// replica, paper section 3.1).
-  Cluster(ThunderboltConfig config,
-          workload::SmallBankConfig workload_config);
+  /// Runs the named registry workload ("smallbank", "ycsb", "tpcc_lite",
+  /// ...) configured from `options`. `options.num_shards` is forced to
+  /// `config.n` (one shard per replica, paper section 3.1). Aborts on an
+  /// unknown workload name — cluster construction is configuration, and a
+  /// bad name is a programming error at every call site.
+  Cluster(ThunderboltConfig config, const std::string& workload_name,
+          workload::WorkloadOptions options);
+
+  /// Same, with the options given as a "key=value[,key=value...]" param
+  /// string over WorkloadOptions defaults, so
+  /// `Cluster(config, "ycsb", "theta=0.9")` just works.
+  Cluster(ThunderboltConfig config, const std::string& workload_name,
+          const std::string& workload_params = "");
+
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -62,7 +73,14 @@ class Cluster {
     return shared_->canonical;
   }
   const ClusterMetrics& metrics() const { return *metrics_; }
-  workload::SmallBankWorkload& workload() { return *workload_; }
+  workload::Workload& workload() { return *workload_; }
+  const workload::Workload& workload() const { return *workload_; }
+
+  /// The workload's consistency invariant over the canonical committed
+  /// state (end-of-run validation for tests and benches).
+  Status CheckInvariant() const {
+    return workload_->CheckInvariant(shared_->canonical);
+  }
 
  private:
   ThunderboltConfig config_;
@@ -70,7 +88,7 @@ class Cluster {
   std::unique_ptr<net::SimNetwork> network_;
   crypto::KeyDirectory keys_;
   std::shared_ptr<const contract::Registry> registry_;
-  std::unique_ptr<workload::SmallBankWorkload> workload_;
+  std::unique_ptr<workload::Workload> workload_;
   std::unique_ptr<SharedClusterState> shared_;
   std::unique_ptr<ClusterMetrics> metrics_;
   std::vector<std::unique_ptr<ThunderboltNode>> nodes_;

@@ -44,7 +44,6 @@ CrossShardResult CrossShardExecutor::Execute(
   }
   result.duration =
       std::max(total / num_workers_, result.critical_path);
-  (void)mapper_;
   return result;
 }
 

@@ -39,11 +39,12 @@ class CrossShardExecutor {
   /// `num_workers` is the parallel worker pool for independent account
   /// queues (the scheduling overhead of cross-queue coordination keeps
   /// this small in practice; see EXPERIMENTS.md calibration notes).
-  CrossShardExecutor(const contract::Registry* registry,
-                     const txn::ShardMapper* mapper, SimTime op_cost,
+  /// Conflict planning needs only the transactions' account arguments, so
+  /// the executor is workload-agnostic: any Workload's cross-shard
+  /// transactions run here unchanged.
+  CrossShardExecutor(const contract::Registry* registry, SimTime op_cost,
                      uint32_t num_workers = 4)
       : registry_(registry),
-        mapper_(mapper),
         op_cost_(op_cost),
         num_workers_(num_workers == 0 ? 1 : num_workers) {}
 
@@ -54,7 +55,6 @@ class CrossShardExecutor {
 
  private:
   const contract::Registry* registry_;
-  const txn::ShardMapper* mapper_;
   SimTime op_cost_;
   uint32_t num_workers_;
 };

@@ -61,7 +61,7 @@ ThunderboltNode::ThunderboltNode(
     const ThunderboltConfig& config, ReplicaId id, sim::Simulator* simulator,
     net::SimNetwork* network, const crypto::KeyDirectory* keys,
     std::shared_ptr<const contract::Registry> registry,
-    workload::SmallBankWorkload* workload, SharedClusterState* shared,
+    workload::Workload* workload, SharedClusterState* shared,
     ClusterMetrics* metrics, bool is_observer)
     : config_(config),
       id_(id),
@@ -74,8 +74,7 @@ ThunderboltNode::ThunderboltNode(
       metrics_(metrics),
       is_observer_(is_observer),
       pool_(config.num_executors, config.exec_costs),
-      cross_executor_(registry_.get(), &workload->mapper(),
-                      config.exec_costs.op_cost),
+      cross_executor_(registry_.get(), config.exec_costs.op_cost),
       owned_shard_(ShardOwnedBy(id, 0, config.n)) {
   dag::DagConfig dag_config;
   dag_config.n = config_.n;

@@ -58,7 +58,7 @@
 #include "net/network.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
-#include "workload/smallbank_workload.h"
+#include "workload/workload.h"
 
 namespace thunderbolt::core {
 
@@ -114,7 +114,7 @@ class ThunderboltNode {
                   sim::Simulator* simulator, net::SimNetwork* network,
                   const crypto::KeyDirectory* keys,
                   std::shared_ptr<const contract::Registry> registry,
-                  workload::SmallBankWorkload* workload,
+                  workload::Workload* workload,
                   SharedClusterState* shared, ClusterMetrics* metrics,
                   bool is_observer);
 
@@ -173,7 +173,7 @@ class ThunderboltNode {
   net::SimNetwork* network_;
   const crypto::KeyDirectory* keys_;
   std::shared_ptr<const contract::Registry> registry_;
-  workload::SmallBankWorkload* workload_;
+  workload::Workload* workload_;
   SharedClusterState* shared_;
   ClusterMetrics* metrics_;
   const bool is_observer_;

@@ -62,6 +62,10 @@ class SmallBankWorkload final : public Workload {
 
   const txn::ShardMapper& mapper() const override { return mapper_; }
 
+  double CrossShardFraction() const override {
+    return config_.num_shards > 1 ? config_.cross_shard_ratio : 0.0;
+  }
+
   /// Sum of all balances; conserved by every SmallBank mix that excludes
   /// WriteCheck and failed sends (used by invariant tests).
   storage::Value TotalBalance(const storage::MemKVStore& store) const;

@@ -92,10 +92,17 @@ void TpccLiteWorkload::CustomerAt(uint64_t rank, uint32_t* w, uint32_t* d,
 
 txn::Transaction TpccLiteWorkload::MakePayment(uint32_t w, uint32_t d,
                                                uint32_t c) {
+  return MakeRemotePayment(w, d, w, d, c);
+}
+
+txn::Transaction TpccLiteWorkload::MakeRemotePayment(uint32_t w, uint32_t d,
+                                                     uint32_t cw, uint32_t cd,
+                                                     uint32_t c) {
   txn::Transaction tx;
   tx.id = next_txn_id_++;
   tx.contract = contract::kTpccPayment;
-  tx.accounts = {WarehouseName(w), DistrictName(w, d), CustomerName(w, d, c)};
+  tx.accounts = {WarehouseName(w), DistrictName(w, d),
+                 CustomerName(cw, cd, c)};
   tx.params.push_back(
       static_cast<storage::Value>(rng_.NextRange(1, kMaxPaymentAmount)));
   return tx;
@@ -139,12 +146,49 @@ txn::Transaction TpccLiteWorkload::NextForShard(ShardId shard) {
     c = static_cast<uint32_t>(
         rng_.NextBounded(options_.customers_per_district));
   }
+  // Remote payment: the home district collects the payment but the credited
+  // customer lives in a district of another shard. Gated on a positive
+  // ratio so existing configurations keep their RNG stream.
+  if (options_.num_shards > 1 && options_.cross_shard_ratio > 0 &&
+      !bucket.empty() && rng_.NextBool(options_.cross_shard_ratio)) {
+    ShardId other =
+        static_cast<ShardId>(rng_.NextBounded(options_.num_shards - 1));
+    if (other >= shard) ++other;
+    const std::vector<uint64_t>& remote = shard_districts_[other];
+    if (!remote.empty()) {
+      uint64_t rdistrict = remote[rng_.NextBounded(remote.size())];
+      uint32_t cw = static_cast<uint32_t>(rdistrict /
+                                          options_.districts_per_warehouse);
+      uint32_t cd = static_cast<uint32_t>(rdistrict %
+                                          options_.districts_per_warehouse);
+      uint32_t cc = static_cast<uint32_t>(
+          rng_.NextBounded(options_.customers_per_district));
+      return MakeRemotePayment(w, d, cw, cd, cc);
+    }
+  }
   if (rng_.NextBool(options_.payment_ratio)) return MakePayment(w, d, c);
   return MakeNewOrder(w, d);
 }
 
+ShardId TpccLiteWorkload::HomeShard(const txn::Transaction& tx) const {
+  // Payments list {warehouse, district, customer}; NewOrders lead with the
+  // district. The district account is the anchor in both cases.
+  if (tx.contract == contract::kTpccPayment && tx.accounts.size() >= 2) {
+    return mapper_.ShardOfAccount(tx.accounts[1]);
+  }
+  if (tx.accounts.empty()) return 0;
+  return mapper_.ShardOfAccount(tx.accounts.front());
+}
+
 Status TpccLiteWorkload::CheckInvariant(
     const storage::MemKVStore& store) const {
+  // Remote payments decouple the paying warehouse from the credited
+  // customer, so the customer breakdown only balances globally.
+  const bool remote_payments =
+      options_.num_shards > 1 && options_.cross_shard_ratio > 0;
+  storage::Value global_warehouse_ytd = 0;
+  storage::Value global_district_ytd = 0;
+  storage::Value global_customer_ytd = 0;
   for (uint32_t w = 0; w < options_.num_warehouses; ++w) {
     storage::Value district_ytd_sum = 0;
     storage::Value customer_ytd_sum = 0;
@@ -166,14 +210,31 @@ Status TpccLiteWorkload::CheckInvariant(
       }
     }
     storage::Value warehouse_ytd = ReadOrZero(store, WarehouseName(w) + "/ytd");
-    if (warehouse_ytd != district_ytd_sum ||
-        warehouse_ytd != customer_ytd_sum) {
+    // Every payment flows through its paying warehouse and district
+    // together, so this pair balances even with remote customers.
+    if (warehouse_ytd != district_ytd_sum) {
       return Status::Corruption(
           "tpcc_lite: " + WarehouseName(w) + " ytd " +
           std::to_string(warehouse_ytd) + " != district sum " +
-          std::to_string(district_ytd_sum) + " / customer sum " +
+          std::to_string(district_ytd_sum));
+    }
+    if (!remote_payments && warehouse_ytd != customer_ytd_sum) {
+      return Status::Corruption(
+          "tpcc_lite: " + WarehouseName(w) + " ytd " +
+          std::to_string(warehouse_ytd) + " != customer sum " +
           std::to_string(customer_ytd_sum));
     }
+    global_warehouse_ytd += warehouse_ytd;
+    global_district_ytd += district_ytd_sum;
+    global_customer_ytd += customer_ytd_sum;
+  }
+  if (global_warehouse_ytd != global_district_ytd ||
+      global_warehouse_ytd != global_customer_ytd) {
+    return Status::Corruption(
+        "tpcc_lite: global ytd mismatch: warehouses " +
+        std::to_string(global_warehouse_ytd) + " / districts " +
+        std::to_string(global_district_ytd) + " / customers " +
+        std::to_string(global_customer_ytd));
   }
   for (uint32_t i = 0; i < options_.num_items; ++i) {
     storage::Value stock = ReadOrZero(store, ItemName(i) + "/stock");

@@ -63,10 +63,30 @@ class TpccLiteWorkload final : public Workload {
 
   void InitStore(storage::MemKVStore* store) const override;
   txn::Transaction Next() override;
+  /// District (and thus warehouse) drawn from `shard`'s bucket; with
+  /// probability cross_shard_ratio a Payment instead credits a *remote*
+  /// customer whose district lives in a different shard (the TPC-C
+  /// remote-payment pattern), which makes the transaction span shards by
+  /// construction. Note TPC-C-lite transactions are often incidentally
+  /// cross-shard anyway: warehouse, district, customer and item accounts
+  /// hash-partition independently.
   txn::Transaction NextForShard(ShardId shard) override;
   const txn::ShardMapper& mapper() const override { return mapper_; }
 
-  /// YTD consistency (see header comment) plus non-negative stock.
+  double CrossShardFraction() const override {
+    return options_.num_shards > 1 ? options_.cross_shard_ratio : 0.0;
+  }
+
+  /// TPC-C-lite transactions are anchored at their district: shard-homed
+  /// generation places the district in the requested shard while the
+  /// warehouse, customer and item accounts may hash elsewhere.
+  ShardId HomeShard(const txn::Transaction& tx) const override;
+
+  /// YTD consistency (see header comment) plus non-negative stock. Remote
+  /// payments (cross_shard_ratio > 0) credit a customer outside the paying
+  /// warehouse, so the per-warehouse customer breakdown is replaced by its
+  /// global counterpart: sum over all warehouses of ytd == sum of all
+  /// district ytd == sum of all customer ytd_payment.
   Status CheckInvariant(const storage::MemKVStore& store) const override;
 
   uint64_t num_customers() const { return num_customers_; }
@@ -75,6 +95,10 @@ class TpccLiteWorkload final : public Workload {
   /// Customer by global Zipfian rank -> (w, d, c).
   void CustomerAt(uint64_t rank, uint32_t* w, uint32_t* d, uint32_t* c) const;
   txn::Transaction MakePayment(uint32_t w, uint32_t d, uint32_t c);
+  /// Payment at warehouse `w` / district `d` crediting the (possibly
+  /// remote) customer (cw, cd, c).
+  txn::Transaction MakeRemotePayment(uint32_t w, uint32_t d, uint32_t cw,
+                                     uint32_t cd, uint32_t c);
   txn::Transaction MakeNewOrder(uint32_t w, uint32_t d);
 
   WorkloadOptions options_;

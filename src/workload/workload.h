@@ -90,11 +90,32 @@ class Workload {
   /// The account -> shard mapping this workload generates against.
   virtual const txn::ShardMapper& mapper() const = 0;
 
+  /// Fraction of NextForShard draws that deliberately span multiple shards
+  /// (the configured cross_shard_ratio where honored; 0 when the workload
+  /// is sharded onto a single shard). Transactions may still be
+  /// incidentally cross-shard when their account arguments hash apart —
+  /// this reports only the intentional cross-shard traffic.
+  virtual double CrossShardFraction() const { return 0.0; }
+
+  /// The shard a transaction from NextForShard(s) is homed at: the shard
+  /// of its anchor account (`s` by construction, even for cross-shard
+  /// transactions, whose anchor stays in the requested shard). Default:
+  /// the first account argument.
+  virtual ShardId HomeShard(const txn::Transaction& tx) const;
+
   /// Checks the workload's consistency invariant over a final state (e.g.
   /// SmallBank total-balance conservation, TPC-C-lite YTD consistency).
   /// Returns OK when the invariant holds, Corruption otherwise.
   virtual Status CheckInvariant(const storage::MemKVStore& store) const = 0;
 };
+
+/// Applies "key=value[,key=value...]" overrides from `spec` onto
+/// `options`, so drivers can configure any workload from one string
+/// (e.g. "theta=0.9,cross_shard_ratio=0.1"). Recognized keys are the
+/// WorkloadOptions fields by name, plus "num_accounts" as an alias for
+/// num_records. Returns InvalidArgument on unknown keys or malformed
+/// values; an empty spec is a no-op.
+Status ApplyWorkloadParams(const std::string& spec, WorkloadOptions* options);
 
 /// Name -> factory registry. `Global()` is preloaded with the built-in
 /// workloads; additional workloads can register at startup.

@@ -107,14 +107,40 @@ txn::Transaction YcsbWorkload::MakeOp(std::string record) {
   return tx;
 }
 
+txn::Transaction YcsbWorkload::MakeTransfer(std::string from, std::string to) {
+  txn::Transaction tx;
+  tx.id = next_txn_id_++;
+  tx.contract = contract::kKvTransfer;
+  tx.accounts.push_back(std::move(from));
+  tx.accounts.push_back(std::move(to));
+  tx.params.push_back(
+      static_cast<storage::Value>(rng_.NextRange(1, kMaxDelta)));
+  return tx;
+}
+
 txn::Transaction YcsbWorkload::Next() {
   return MakeOp(RecordName(SampleRank()));
 }
 
-txn::Transaction YcsbWorkload::NextForShard(ShardId shard) {
+std::string YcsbWorkload::SampleShardRecord(ShardId shard) {
   const std::vector<uint64_t>& bucket = shard_records_[shard];
-  if (bucket.empty()) return MakeOp(RecordName(0));
-  return MakeOp(RecordName(bucket[SampleBucketRank(shard)]));
+  if (bucket.empty()) return RecordName(0);
+  return RecordName(bucket[SampleBucketRank(shard)]);
+}
+
+txn::Transaction YcsbWorkload::NextForShard(ShardId shard) {
+  // The extra dice roll is gated on a positive ratio so configurations
+  // without cross-shard traffic keep their pre-existing RNG stream.
+  if (options_.num_shards > 1 && options_.cross_shard_ratio > 0 &&
+      rng_.NextBool(options_.cross_shard_ratio)) {
+    // kv.transfer from a record homed here to a record of another shard.
+    std::string from = SampleShardRecord(shard);
+    ShardId other =
+        static_cast<ShardId>(rng_.NextBounded(options_.num_shards - 1));
+    if (other >= shard) ++other;
+    return MakeTransfer(std::move(from), SampleShardRecord(other));
+  }
+  return MakeOp(SampleShardRecord(shard));
 }
 
 Status YcsbWorkload::CheckInvariant(const storage::MemKVStore& store) const {

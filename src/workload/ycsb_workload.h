@@ -45,13 +45,21 @@ class YcsbWorkload final : public Workload {
 
   void InitStore(storage::MemKVStore* store) const override;
   txn::Transaction Next() override;
+  /// Single-record op on the shard's bucket; with probability
+  /// cross_shard_ratio (and more than one shard) a kv.transfer from a
+  /// record of `shard` to a record of another shard instead.
   txn::Transaction NextForShard(ShardId shard) override;
   const txn::ShardMapper& mapper() const override { return mapper_; }
 
+  double CrossShardFraction() const override {
+    return options_.num_shards > 1 ? options_.cross_shard_ratio : 0.0;
+  }
+
   /// All records still exist, the store holds exactly the seeded keys (no
   /// strays appeared), and every value is non-negative (update/RMW
-  /// arguments are positive). Assumes the store was seeded by InitStore
-  /// alone — YCSB owns its whole keyspace.
+  /// arguments are positive; transfers clamp at the source balance).
+  /// Assumes the store was seeded by InitStore alone — YCSB owns its whole
+  /// keyspace.
   Status CheckInvariant(const storage::MemKVStore& store) const override;
 
  private:
@@ -59,7 +67,10 @@ class YcsbWorkload final : public Workload {
   uint64_t SampleRank();
   /// Rank within `bucket_size` records (per-shard sampling).
   uint64_t SampleBucketRank(ShardId shard);
+  /// A record of `shard`'s bucket under the configured distribution.
+  std::string SampleShardRecord(ShardId shard);
   txn::Transaction MakeOp(std::string record);
+  txn::Transaction MakeTransfer(std::string from, std::string to);
 
   WorkloadOptions options_;
   Distribution distribution_;

@@ -23,12 +23,12 @@ ThunderboltConfig SmallConfig(uint32_t n = 4) {
   return cfg;
 }
 
-workload::SmallBankConfig SmallWorkload() {
-  return testutil::SmallBankTestConfig(/*num_accounts=*/400, /*seed=*/12);
+workload::WorkloadOptions SmallWorkload() {
+  return testutil::WorkloadTestOptions(/*num_records=*/400, /*seed=*/12);
 }
 
 TEST(ClusterTest, CommitsSingleShardTransactions) {
-  Cluster cluster(SmallConfig(), SmallWorkload());
+  Cluster cluster(SmallConfig(), "smallbank", SmallWorkload());
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_GT(r.committed_single, 500u);
   EXPECT_EQ(r.invalid_blocks, 0u);
@@ -38,35 +38,29 @@ TEST(ClusterTest, CommitsSingleShardTransactions) {
 }
 
 TEST(ClusterTest, BalancesConserved) {
-  // Pr=0.5 mix of GetBalance and SendPayment conserves total balance.
-  auto wc = SmallWorkload();
-  Cluster cluster(SmallConfig(), wc);
+  // Pr=0.5 mix of GetBalance and SendPayment conserves total balance
+  // (SmallBank's CheckInvariant).
+  Cluster cluster(SmallConfig(), "smallbank", SmallWorkload());
   cluster.Run(Seconds(5));
-  storage::Value expected =
-      static_cast<storage::Value>(wc.num_accounts) *
-      (wc.initial_checking + wc.initial_savings);
-  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
-            expected);
+  EXPECT_TRUE(cluster.CheckInvariant().ok())
+      << cluster.CheckInvariant().ToString();
 }
 
 TEST(ClusterTest, CrossShardTransactionsCommit) {
   auto wc = SmallWorkload();
   wc.cross_shard_ratio = 0.2;
-  Cluster cluster(SmallConfig(), wc);
+  Cluster cluster(SmallConfig(), "smallbank", wc);
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_GT(r.committed_cross, 50u);
   EXPECT_GT(r.committed_single, 50u);
-  storage::Value expected =
-      static_cast<storage::Value>(wc.num_accounts) *
-      (wc.initial_checking + wc.initial_savings);
-  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
-            expected);
+  EXPECT_TRUE(cluster.CheckInvariant().ok())
+      << cluster.CheckInvariant().ToString();
 }
 
 TEST(ClusterTest, AllCrossShard) {
   auto wc = SmallWorkload();
   wc.cross_shard_ratio = 1.0;
-  Cluster cluster(SmallConfig(), wc);
+  Cluster cluster(SmallConfig(), "smallbank", wc);
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_EQ(r.committed_single, 0u);
   EXPECT_GT(r.committed_cross, 200u);
@@ -75,21 +69,18 @@ TEST(ClusterTest, AllCrossShard) {
 TEST(ClusterTest, TuskModeCommitsSerially) {
   auto cfg = SmallConfig();
   cfg.mode = ExecutionMode::kTusk;
-  Cluster cluster(cfg, SmallWorkload());
+  Cluster cluster(cfg, "smallbank", SmallWorkload());
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_EQ(r.committed_single, 0u);  // Everything is raw/ordered.
   EXPECT_GT(r.committed_cross, 200u);
-  storage::Value expected =
-      static_cast<storage::Value>(SmallWorkload().num_accounts) *
-      (SmallWorkload().initial_checking + SmallWorkload().initial_savings);
-  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
-            expected);
+  EXPECT_TRUE(cluster.CheckInvariant().ok())
+      << cluster.CheckInvariant().ToString();
 }
 
 TEST(ClusterTest, ThunderboltOccMode) {
   auto cfg = SmallConfig();
   cfg.mode = ExecutionMode::kThunderboltOcc;
-  Cluster cluster(cfg, SmallWorkload());
+  Cluster cluster(cfg, "smallbank", SmallWorkload());
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_GT(r.committed_single, 500u);
   EXPECT_EQ(r.invalid_blocks, 0u);
@@ -97,7 +88,7 @@ TEST(ClusterTest, ThunderboltOccMode) {
 
 TEST(ClusterTest, SurvivesFCrashedReplicas) {
   auto cfg = SmallConfig(7);  // f = 2.
-  Cluster cluster(cfg, SmallWorkload());
+  Cluster cluster(cfg, "smallbank", SmallWorkload());
   cluster.CrashReplicaAt(5, Millis(500));
   cluster.CrashReplicaAt(6, Millis(500));
   ClusterResult r = cluster.Run(Seconds(6));
@@ -107,7 +98,7 @@ TEST(ClusterTest, SurvivesFCrashedReplicas) {
 TEST(ClusterTest, PeriodicReconfigurationRotatesShards) {
   auto cfg = SmallConfig();
   cfg.reconfig_period_k_prime = 6;
-  Cluster cluster(cfg, SmallWorkload());
+  Cluster cluster(cfg, "smallbank", SmallWorkload());
   ClusterResult r = cluster.Run(Seconds(8));
   EXPECT_GE(r.reconfigurations, 1u);
   EXPECT_GT(r.shift_blocks, 0u);
@@ -122,7 +113,7 @@ TEST(ClusterTest, PeriodicReconfigurationRotatesShards) {
 TEST(ClusterTest, SilenceTriggersReconfiguration) {
   auto cfg = SmallConfig();
   cfg.silence_rounds_k = 6;
-  Cluster cluster(cfg, SmallWorkload());
+  Cluster cluster(cfg, "smallbank", SmallWorkload());
   cluster.CrashReplicaAt(3, Millis(300));
   ClusterResult r = cluster.Run(Seconds(8));
   // The silent proposer triggers Shift blocks and a DAG switch.
@@ -134,7 +125,7 @@ TEST(ClusterTest, DeterministicGivenSeed) {
   uint64_t fp[2];
   uint64_t committed[2];
   for (int i = 0; i < 2; ++i) {
-    Cluster cluster(SmallConfig(), SmallWorkload());
+    Cluster cluster(SmallConfig(), "smallbank", SmallWorkload());
     ClusterResult r = cluster.Run(Seconds(3));
     fp[i] = cluster.canonical_state().ContentFingerprint();
     committed[i] = r.committed_single + r.committed_cross;
@@ -144,7 +135,7 @@ TEST(ClusterTest, DeterministicGivenSeed) {
 }
 
 TEST(ClusterTest, RepeatedRunWindowsAccumulate) {
-  Cluster cluster(SmallConfig(), SmallWorkload());
+  Cluster cluster(SmallConfig(), "smallbank", SmallWorkload());
   ClusterResult r1 = cluster.Run(Seconds(2));
   ClusterResult r2 = cluster.Run(Seconds(2));
   EXPECT_GT(r1.committed_single, 0u);
@@ -154,9 +145,9 @@ TEST(ClusterTest, RepeatedRunWindowsAccumulate) {
 
 TEST(ClusterTest, LargerClusterScalesThroughput) {
   auto wc = SmallWorkload();
-  wc.num_accounts = 1600;
-  Cluster small(SmallConfig(4), wc);
-  Cluster large(SmallConfig(8), wc);
+  wc.num_records = 1600;
+  Cluster small(SmallConfig(4), "smallbank", wc);
+  Cluster large(SmallConfig(8), "smallbank", wc);
   ClusterResult rs = small.Run(Seconds(5));
   ClusterResult rl = large.Run(Seconds(5));
   // More shards -> more parallel preplay -> higher total throughput.

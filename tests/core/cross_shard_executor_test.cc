@@ -32,7 +32,7 @@ class CrossShardTest : public ::testing::Test {
 
 TEST_F(CrossShardTest, EmptyBatch) {
   storage::MemKVStore store;
-  CrossShardExecutor ex(registry_.get(), &mapper_, Micros(10));
+  CrossShardExecutor ex(registry_.get(), Micros(10));
   CrossShardResult r = ex.Execute({}, &store);
   EXPECT_EQ(r.executed, 0u);
   EXPECT_EQ(r.duration, 0u);
@@ -51,7 +51,7 @@ TEST_F(CrossShardTest, StateMatchesSerialExecution) {
   std::vector<txn::Transaction> txs;
   for (int i = 0; i < 100; ++i) txs.push_back(w.NextForShard(i % 4));
 
-  CrossShardExecutor ex(registry_.get(), &w.mapper(), Micros(10));
+  CrossShardExecutor ex(registry_.get(), Micros(10));
   CrossShardResult r = ex.Execute(txs, &store);
   EXPECT_EQ(r.executed, txs.size());
 
@@ -76,7 +76,7 @@ TEST_F(CrossShardTest, IndependentQueuesRunInParallel) {
       Send(1, per_shard[0], per_shard[1], 10),
       Send(2, per_shard[2], per_shard[3], 10),
   };
-  CrossShardExecutor ex(registry_.get(), &mapper_, Micros(10));
+  CrossShardExecutor ex(registry_.get(), Micros(10));
   CrossShardResult r = ex.Execute(txs, &store);
   EXPECT_EQ(r.distinct_accounts, 4u);
   // Makespan is one transaction's cost (queues drain in parallel), while
@@ -106,7 +106,7 @@ TEST_F(CrossShardTest, SharedAccountsChainInCommitOrder) {
       Send(1, per_shard[0], per_shard[1], 60),
       Send(2, per_shard[1], per_shard[2], 50),
   };
-  CrossShardExecutor ex(registry_.get(), &mapper_, Micros(10));
+  CrossShardExecutor ex(registry_.get(), Micros(10));
   CrossShardResult r = ex.Execute(txs, &store);
   EXPECT_EQ(r.distinct_accounts, 3u);
   EXPECT_EQ(store.GetOrDefault(txn::CheckingKey(per_shard[1]), -1), 10);
@@ -124,8 +124,8 @@ TEST_F(CrossShardTest, WorkerPoolBoundsMakespan) {
     store.Put(txn::CheckingKey(b), 100);
     txs.push_back(Send(i + 1, a, b, 1));
   }
-  CrossShardExecutor two(registry_.get(), &mapper_, Micros(10), 2);
-  CrossShardExecutor eight(registry_.get(), &mapper_, Micros(10), 8);
+  CrossShardExecutor two(registry_.get(), Micros(10), 2);
+  CrossShardExecutor eight(registry_.get(), Micros(10), 8);
   storage::MemKVStore s1 = store.Clone(), s2 = store.Clone();
   CrossShardResult r2 = two.Execute(txs, &s1);
   CrossShardResult r8 = eight.Execute(txs, &s2);

@@ -3,6 +3,9 @@
 // byte-identical commit order and histogram/metrics output; any divergence
 // means nondeterminism crept into the protocol or scheduler (e.g. iteration
 // over an unordered container, wall-clock leakage, uninitialized reads).
+// The check runs for every cluster workload — sharded generation and
+// cross-shard execution must be deterministic for ycsb and tpcc_lite just
+// like for SmallBank.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -21,15 +24,19 @@ struct RunOutput {
   uint64_t state_fingerprint; // Canonical store content digest.
 };
 
-RunOutput RunClusterOnce(uint64_t seed) {
+RunOutput RunClusterOnce(const std::string& workload_name, uint64_t seed) {
   ThunderboltConfig cfg;
   cfg.n = 4;
   cfg.batch_size = 100;
-  workload::SmallBankConfig wc =
-      testutil::SmallBankTestConfig(/*num_accounts=*/500, seed);
+  workload::WorkloadOptions wc =
+      testutil::WorkloadTestOptions(/*num_records=*/500, seed);
   wc.cross_shard_ratio = 0.1;
+  // Keep TPC-C-lite tables test-sized (the defaults are bench-scale).
+  wc.num_warehouses = 2;
+  wc.customers_per_district = 20;
+  wc.num_items = 50;
 
-  Cluster cluster(cfg, wc);
+  Cluster cluster(cfg, workload_name, wc);
   ClusterResult r = cluster.Run(Seconds(2));
 
   RunOutput out;
@@ -51,22 +58,30 @@ RunOutput RunClusterOnce(uint64_t seed) {
   return out;
 }
 
-TEST(DeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
-  RunOutput a = RunClusterOnce(/*seed=*/1234);
-  RunOutput b = RunClusterOnce(/*seed=*/1234);
+class ClusterDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClusterDeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
+  RunOutput a = RunClusterOnce(GetParam(), /*seed=*/1234);
+  RunOutput b = RunClusterOnce(GetParam(), /*seed=*/1234);
   EXPECT_FALSE(a.commit_order.empty());
   EXPECT_EQ(a.commit_order, b.commit_order);
   EXPECT_EQ(a.histogram, b.histogram);
   EXPECT_EQ(a.state_fingerprint, b.state_fingerprint);
 }
 
-TEST(DeterminismTest, DifferentSeedsDiverge) {
+TEST_P(ClusterDeterminismTest, DifferentSeedsDiverge) {
   // Guard against the helper accidentally ignoring the seed, which would
   // make the identical-seed assertion vacuous.
-  RunOutput a = RunClusterOnce(/*seed=*/1234);
-  RunOutput b = RunClusterOnce(/*seed=*/99);
+  RunOutput a = RunClusterOnce(GetParam(), /*seed=*/1234);
+  RunOutput b = RunClusterOnce(GetParam(), /*seed=*/99);
   EXPECT_NE(a.commit_order, b.commit_order);
 }
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ClusterDeterminismTest,
+                         ::testing::Values("smallbank", "ycsb", "tpcc_lite"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 }  // namespace
 }  // namespace thunderbolt::core

@@ -20,16 +20,16 @@ ThunderboltConfig BaseConfig() {
   return cfg;
 }
 
-workload::SmallBankConfig BaseWorkload(double cross_ratio) {
-  workload::SmallBankConfig wc =
-      testutil::SmallBankTestConfig(/*num_accounts=*/600, /*seed=*/202);
+workload::WorkloadOptions BaseWorkload(double cross_ratio) {
+  workload::WorkloadOptions wc =
+      testutil::WorkloadTestOptions(/*num_records=*/600, /*seed=*/202);
   wc.cross_shard_ratio = cross_ratio;
   return wc;
 }
 
 // P1: cross-shard transactions bypass the CE entirely.
 TEST(ProposalRulesTest, P1CrossShardBypassesPreplay) {
-  Cluster cluster(BaseConfig(), BaseWorkload(1.0));
+  Cluster cluster(BaseConfig(), "smallbank", BaseWorkload(1.0));
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_EQ(r.committed_single, 0u);
   EXPECT_EQ(r.preplay_aborts, 0u);  // Nothing preplayed, nothing aborted.
@@ -41,7 +41,7 @@ TEST(ProposalRulesTest, P1CrossShardBypassesPreplay) {
 TEST(ProposalRulesTest, P6LeaderTimeoutConverts) {
   auto cfg = BaseConfig();
   cfg.silence_rounds_k = 1000000;  // Isolate P6 from reconfiguration.
-  Cluster cluster(cfg, BaseWorkload(0.0));
+  Cluster cluster(cfg, "smallbank", BaseWorkload(0.0));
   // Replica 1 leads rounds 3, 11, 19, ... (round-robin); crash it early.
   cluster.CrashReplicaAt(1, Millis(100));
   ClusterResult r = cluster.Run(Seconds(5));
@@ -56,7 +56,7 @@ TEST(ProposalRulesTest, P6LeaderTimeoutConverts) {
 // pending cross-shard transactions are deferred (possibly via Skip blocks)
 // or converted, never preplayed concurrently with the conflict.
 TEST(ProposalRulesTest, P4ConflictsDeferOrConvert) {
-  Cluster cluster(BaseConfig(), BaseWorkload(0.3));
+  Cluster cluster(BaseConfig(), "smallbank", BaseWorkload(0.3));
   ClusterResult r = cluster.Run(Seconds(5));
   // Deferral/conversion machinery must have engaged under 30% cross load
   // with a skewed account distribution.
@@ -64,10 +64,8 @@ TEST(ProposalRulesTest, P4ConflictsDeferOrConvert) {
   // Safety net: nothing invalid committed.
   EXPECT_EQ(r.invalid_blocks, 0u);
   // Balances conserved across both execution paths.
-  auto wc = BaseWorkload(0.3);
-  EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
-            static_cast<storage::Value>(wc.num_accounts) *
-                (wc.initial_checking + wc.initial_savings));
+  EXPECT_TRUE(cluster.CheckInvariant().ok())
+      << cluster.CheckInvariant().ToString();
 }
 
 // P2/G1: within one run, committed work includes both paths and the
@@ -79,14 +77,12 @@ TEST(ProposalRulesTest, MixedPathsStayConsistent) {
     cfg.seed = seed;
     auto wc = BaseWorkload(0.15);
     wc.seed = seed + 1000;
-    Cluster cluster(cfg, wc);
+    Cluster cluster(cfg, "smallbank", wc);
     ClusterResult r = cluster.Run(Seconds(4));
     EXPECT_GT(r.committed_single, 0u) << "seed " << seed;
     EXPECT_GT(r.committed_cross, 0u) << "seed " << seed;
-    EXPECT_EQ(cluster.workload().TotalBalance(cluster.canonical_state()),
-              static_cast<storage::Value>(wc.num_accounts) *
-                  (wc.initial_checking + wc.initial_savings))
-        << "seed " << seed;
+    EXPECT_TRUE(cluster.CheckInvariant().ok())
+        << "seed " << seed << ": " << cluster.CheckInvariant().ToString();
   }
 }
 
@@ -97,7 +93,7 @@ TEST(ProposalRulesTest, SkipBlocksUnderCrossPressure) {
   cfg.use_skip_blocks = true;
   auto wc = BaseWorkload(0.6);
   wc.theta = 0.95;  // Very hot accounts -> persistent conflicts.
-  Cluster cluster(cfg, wc);
+  Cluster cluster(cfg, "smallbank", wc);
   ClusterResult r = cluster.Run(Seconds(5));
   EXPECT_GT(r.skip_blocks, 0u);
 }
@@ -109,10 +105,10 @@ TEST(ProposalRulesTest, SkipModeVsConvertMode) {
   auto wc = BaseWorkload(0.3);
   auto cfg = BaseConfig();
   cfg.use_skip_blocks = false;
-  Cluster convert_mode(cfg, wc);
+  Cluster convert_mode(cfg, "smallbank", wc);
   ClusterResult rc = convert_mode.Run(Seconds(4));
   cfg.use_skip_blocks = true;
-  Cluster skip_mode(cfg, wc);
+  Cluster skip_mode(cfg, "smallbank", wc);
   ClusterResult rs = skip_mode.Run(Seconds(4));
   EXPECT_EQ(rc.invalid_blocks, 0u);
   EXPECT_EQ(rs.invalid_blocks, 0u);

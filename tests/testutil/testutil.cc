@@ -23,6 +23,18 @@ workload::SmallBankConfig SmallBankTestConfig(uint64_t num_accounts,
   return config;
 }
 
+workload::WorkloadOptions WorkloadTestOptions(uint64_t num_records,
+                                              uint64_t seed,
+                                              double read_ratio,
+                                              double theta) {
+  workload::WorkloadOptions options;
+  options.num_records = num_records;
+  options.seed = seed;
+  options.read_ratio = read_ratio;
+  options.theta = theta;
+  return options;
+}
+
 workload::SmallBankWorkload MakeSmallBank(storage::MemKVStore* store,
                                           uint64_t num_accounts,
                                           uint64_t seed,

@@ -45,6 +45,16 @@ workload::SmallBankConfig SmallBankTestConfig(uint64_t num_accounts,
                                               double read_ratio = 0.5,
                                               double theta = 0.85);
 
+/// Registry-facing twin of SmallBankTestConfig: WorkloadOptions sized for
+/// tests, for any workload constructed by name (e.g. via core::Cluster).
+/// The defaults mirror SmallBankTestConfig so `Cluster(cfg, "smallbank",
+/// WorkloadTestOptions(n, seed))` generates the exact same transaction
+/// stream the SmallBankConfig-based API used to.
+workload::WorkloadOptions WorkloadTestOptions(uint64_t num_records,
+                                              uint64_t seed,
+                                              double read_ratio = 0.5,
+                                              double theta = 0.85);
+
 /// Workload over `SmallBankTestConfig`. When `store` is non-null its
 /// account balances are initialized first.
 workload::SmallBankWorkload MakeSmallBank(storage::MemKVStore* store,

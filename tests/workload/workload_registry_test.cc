@@ -177,5 +177,129 @@ TEST(TpccLiteWorkloadTest, InvariantCatchesOrderCountMismatch) {
   EXPECT_TRUE(w.CheckInvariant(store).ok());
 }
 
+
+// --- Param-string parsing --------------------------------------------------
+
+TEST(WorkloadParamsTest, AppliesKnownKeys) {
+  WorkloadOptions options;
+  ASSERT_TRUE(ApplyWorkloadParams(
+                  "num_records=2500,theta=0.9,read_ratio=0.25,"
+                  "cross_shard_ratio=0.1,seed=7,distribution=hotspot,"
+                  "update_ratio=0.75,num_warehouses=3,payment_ratio=0.6",
+                  &options)
+                  .ok());
+  EXPECT_EQ(options.num_records, 2500u);
+  EXPECT_EQ(options.theta, 0.9);
+  EXPECT_EQ(options.read_ratio, 0.25);
+  EXPECT_EQ(options.cross_shard_ratio, 0.1);
+  EXPECT_EQ(options.seed, 7u);
+  EXPECT_EQ(options.distribution, "hotspot");
+  EXPECT_EQ(options.update_ratio, 0.75);
+  EXPECT_EQ(options.num_warehouses, 3u);
+  EXPECT_EQ(options.payment_ratio, 0.6);
+}
+
+TEST(WorkloadParamsTest, NumAccountsIsAnAliasForNumRecords) {
+  WorkloadOptions options;
+  ASSERT_TRUE(ApplyWorkloadParams("num_accounts=123", &options).ok());
+  EXPECT_EQ(options.num_records, 123u);
+}
+
+TEST(WorkloadParamsTest, EmptySpecIsANoOp) {
+  WorkloadOptions options;
+  WorkloadOptions defaults;
+  ASSERT_TRUE(ApplyWorkloadParams("", &options).ok());
+  EXPECT_EQ(options.num_records, defaults.num_records);
+  EXPECT_EQ(options.theta, defaults.theta);
+}
+
+TEST(WorkloadParamsTest, RejectsUnknownKeysAndMalformedSpecs) {
+  WorkloadOptions options;
+  EXPECT_FALSE(ApplyWorkloadParams("bogus_key=1", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("theta", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("theta=", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("=0.5", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("theta=abc", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("num_records=12x", &options).ok());
+}
+
+TEST(WorkloadParamsTest, RejectsSignedAndOverflowingIntegers) {
+  WorkloadOptions options;
+  // strtoull would silently wrap "-1" to 2^64-1; a typo must not turn
+  // into an absurd population size.
+  EXPECT_FALSE(ApplyWorkloadParams("num_records=-1", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("num_records=+5", &options).ok());
+  EXPECT_FALSE(
+      ApplyWorkloadParams("num_records=99999999999999999999999", &options)
+          .ok());
+  // 32-bit fields reject values that would truncate.
+  EXPECT_FALSE(ApplyWorkloadParams("num_shards=4294967296", &options).ok());
+  EXPECT_FALSE(ApplyWorkloadParams("num_shards=-1", &options).ok());
+  EXPECT_TRUE(ApplyWorkloadParams("num_shards=4294967295", &options).ok());
+  EXPECT_EQ(options.num_shards, 4294967295u);
+}
+
+TEST(WorkloadParamsTest, RejectsUnknownDistributions) {
+  WorkloadOptions options;
+  // YcsbWorkload silently maps unknown names to zipfian, so the parser
+  // must catch the typo instead.
+  EXPECT_FALSE(ApplyWorkloadParams("distribution=unifrom", &options).ok());
+  for (const char* d : {"uniform", "zipfian", "hotspot"}) {
+    ASSERT_TRUE(
+        ApplyWorkloadParams(std::string("distribution=") + d, &options).ok());
+    EXPECT_EQ(options.distribution, d);
+  }
+}
+
+// --- Remote payments (cross-shard TPC-C-lite) ------------------------------
+
+TEST(TpccLiteWorkloadTest, RemotePaymentsSpanShards) {
+  WorkloadOptions options = TinyTpcc(90);
+  options.num_shards = 2;
+  options.cross_shard_ratio = 1.0;
+  options.payment_ratio = 1.0;
+  TpccLiteWorkload w(options);
+  int remote = 0;
+  for (int i = 0; i < 400; ++i) {
+    ShardId shard = static_cast<ShardId>(i % 2);
+    txn::Transaction tx = w.NextForShard(shard);
+    ASSERT_EQ(tx.contract, contract::kTpccPayment);
+    EXPECT_EQ(w.HomeShard(tx), shard);
+    // Customer account belongs to a district of the *other* shard.
+    if (tx.accounts[2].rfind(tx.accounts[1] + ".", 0) != 0) {
+      ++remote;
+      std::string customer_district =
+          tx.accounts[2].substr(0, tx.accounts[2].rfind('.'));
+      EXPECT_NE(w.mapper().ShardOfAccount(customer_district), shard);
+    }
+  }
+  EXPECT_GT(remote, 300);
+}
+
+TEST(TpccLiteWorkloadTest, RemotePaymentInvariantBalancesGlobally) {
+  // A remote payment credits warehouse+district at home and ytd_payment at
+  // the remote customer: the per-warehouse customer breakdown breaks, the
+  // global one must not.
+  WorkloadOptions remote_options = TinyTpcc(91);
+  remote_options.num_shards = 2;
+  remote_options.cross_shard_ratio = 0.5;
+  TpccLiteWorkload w(remote_options);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  store.Put("w0/ytd", 5);
+  store.Put("w0.d0/ytd", 5);
+  store.Put("w1.d0.c0/ytd_payment", 5);
+  EXPECT_TRUE(w.CheckInvariant(store).ok());
+  // Strict mode (no remote payments configured) still rejects the same
+  // state: the money left warehouse 0's customers.
+  TpccLiteWorkload strict(TinyTpcc(91));
+  EXPECT_FALSE(strict.CheckInvariant(store).ok());
+  // And the global customer check still catches outright corruption even
+  // when each warehouse/district pair balances.
+  store.Put("w1/ytd", 3);
+  store.Put("w1.d0/ytd", 3);
+  EXPECT_FALSE(w.CheckInvariant(store).ok());
+}
+
 }  // namespace
 }  // namespace thunderbolt::workload
