@@ -20,7 +20,8 @@ struct RunOut {
 
 RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
               const std::string& workload_name,
-              const workload::WorkloadOptions& options, SimTime warmup,
+              const workload::WorkloadOptions& options,
+              const bench::PlacementSelection& placement, SimTime warmup,
               SimTime duration) {
   core::ThunderboltConfig cfg;
   cfg.n = n;
@@ -30,6 +31,7 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
   cfg.num_validators = 16;
   cfg.latency = wan ? net::LatencyModel::Wan() : net::LatencyModel::Lan();
   cfg.seed = 77;
+  placement.ApplyTo(&cfg);
 
   core::Cluster cluster(cfg, workload_name, options);
   cluster.Run(warmup);  // Excluded: pipeline fill / first commits.
@@ -46,13 +48,16 @@ int main(int argc, char** argv) {
   workload::WorkloadOptions options;
   const std::string workload_name =
       bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/78);
+  const bench::PlacementSelection placement =
+      bench::PlacementFromFlags(argc, argv);
   bench::Banner(
       "Figure 13", "throughput & latency vs replica count (LAN and WAN)",
       "Thunderbolt scales with replicas and beats Tusk by ~50x at 64 "
       "replicas; Thunderbolt-OCC tracks Thunderbolt but lags at scale; "
       "Tusk throughput stays flat (~11K tps) with latency growing to "
       "~100 s; WAN shows the same ordering with higher latencies");
-  std::printf("workload: %s\n", workload_name.c_str());
+  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
+              placement.policy.c_str());
 
   const core::ExecutionMode modes[] = {core::ExecutionMode::kThunderbolt,
                                        core::ExecutionMode::kThunderboltOcc,
@@ -73,7 +78,7 @@ int main(int argc, char** argv) {
         SimTime duration = quick ? Seconds(n >= 64 ? 2 : 3)
                                  : Seconds(n >= 32 ? 3 : 5);
         RunOut out = RunOne(modes[mi], n, wan, workload_name, options,
-                            warmup, duration);
+                            placement, warmup, duration);
         table.Row({mode_names[mi], bench::FmtInt(n), bench::Fmt(out.tps, 0),
                    bench::Fmt(out.latency_s, 2)});
         if (!wan && n == 64) {

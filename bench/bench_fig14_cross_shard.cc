@@ -2,6 +2,10 @@
 // (P%) on 16 replicas, for Thunderbolt, Thunderbolt-OCC and Tusk.
 // `--workload ycsb|tpcc_lite` re-runs the sweep on any registered workload
 // (each honors cross_shard_ratio through its own cross-shard generator).
+// `--placement locality|directory|range` swaps the account -> shard
+// policy: the crossfrac column (committed cross-shard fraction) is the
+// direct read-out of how much cross-shard traffic a policy avoids at the
+// same requested cross_shard_ratio.
 #include "bench/bench_util.h"
 #include "core/cluster.h"
 
@@ -10,7 +14,8 @@ namespace {
 
 void RunSweep(core::ExecutionMode mode, const char* name,
               const std::string& workload_name,
-              workload::WorkloadOptions options, SimTime duration,
+              workload::WorkloadOptions options,
+              const bench::PlacementSelection& placement, SimTime duration,
               bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
@@ -18,13 +23,20 @@ void RunSweep(core::ExecutionMode mode, const char* name,
     cfg.mode = mode;
     cfg.batch_size = 500;
     cfg.seed = 90;
+    placement.ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
+    const uint64_t committed = r.committed_single + r.committed_cross;
+    const double cross_frac =
+        committed == 0
+            ? 0
+            : static_cast<double>(r.committed_cross) /
+                  static_cast<double>(committed);
     table.Row({name, bench::Fmt(pct * 100, 0), bench::Fmt(r.throughput_tps, 0),
                bench::Fmt(r.avg_latency_s, 2),
                bench::FmtInt(r.committed_single),
-               bench::FmtInt(r.committed_cross),
+               bench::FmtInt(r.committed_cross), bench::Fmt(cross_frac, 3),
                bench::FmtInt(r.conversions), bench::FmtInt(r.skip_blocks)});
   }
 }
@@ -39,6 +51,8 @@ int main(int argc, char** argv) {
   workload::WorkloadOptions options;
   const std::string workload_name = bench::ClusterWorkloadFromFlags(
       argc, argv, &options, /*seed=*/91, {"cross_shard_ratio"});
+  const bench::PlacementSelection placement =
+      bench::PlacementFromFlags(argc, argv);
   bench::Banner(
       "Figure 14", "cross-shard transaction ratio sweep on 16 replicas",
       "both Thunderbolt variants decline as P grows; at P=8% Thunderbolt "
@@ -46,14 +60,15 @@ int main(int argc, char** argv) {
       "Tusk (~19K vs ~10K tps in the paper) thanks to SID-parallel OE "
       "execution; Thunderbolt latency roughly half of Thunderbolt-OCC "
       "under high contention");
-  std::printf("workload: %s\n", workload_name.c_str());
+  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
+              placement.policy.c_str());
   bench::Table table({"system", "cross%", "tput(tps)", "latency(s)",
-                      "single", "cross", "converted", "skips"});
+                      "single", "cross", "crossfrac", "converted", "skips"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", workload_name,
-           options, duration, table);
+           options, placement, duration, table);
   RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC",
-           workload_name, options, duration, table);
+           workload_name, options, placement, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", workload_name, options,
-           duration, table);
+           placement, duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig14");
 }

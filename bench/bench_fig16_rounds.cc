@@ -12,17 +12,21 @@ int main(int argc, char** argv) {
   workload::WorkloadOptions options;
   const std::string workload_name =
       bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/66);
+  const bench::PlacementSelection placement =
+      bench::PlacementFromFlags(argc, argv);
   bench::Banner(
       "Figure 16", "per-100-round commit runtime across reconfigurations",
       "runtime per round stays in a tight band (paper: 0.07-0.1 s) with no "
       "stall at reconfiguration boundaries (K'=300)");
-  std::printf("workload: %s\n", workload_name.c_str());
+  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
+              placement.policy.c_str());
 
   core::ThunderboltConfig cfg;
   cfg.n = 8;
   cfg.batch_size = 500;
   cfg.reconfig_period_k_prime = 300;
   cfg.seed = 65;
+  placement.ApplyTo(&cfg);
   core::Cluster cluster(cfg, workload_name, options);
   core::ClusterResult r = cluster.Run(duration);
 

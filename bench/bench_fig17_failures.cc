@@ -10,7 +10,8 @@ namespace {
 
 void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
               const std::string& workload_name,
-              workload::WorkloadOptions options, SimTime duration,
+              workload::WorkloadOptions options,
+              const bench::PlacementSelection& placement, SimTime duration,
               bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
@@ -18,6 +19,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
     cfg.mode = mode;
     cfg.batch_size = 500;
     cfg.seed = 101;
+    placement.ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     // Crash the highest-numbered replicas shortly after startup (the
@@ -43,22 +45,25 @@ int main(int argc, char** argv) {
   workload::WorkloadOptions options;
   const std::string workload_name = bench::ClusterWorkloadFromFlags(
       argc, argv, &options, /*seed=*/102, {"cross_shard_ratio"});
+  const bench::PlacementSelection placement =
+      bench::PlacementFromFlags(argc, argv);
   bench::Banner(
       "Figure 17", "replica failures (f = 1, 2) on 16 replicas",
       "Thunderbolt keeps committing with crashed replicas: throughput "
       "drops roughly in proportion to lost shards (paper: 78K/66K tps at "
       "P=0 for f=1/f=2 vs 100K failure-free; 17K/15K at P=100%) while "
       "latency stays stable thanks to DAG leader rotation");
-  std::printf("workload: %s\n", workload_name.c_str());
+  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
+              placement.policy.c_str());
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
-           workload_name, options, duration, table);
+           workload_name, options, placement, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
-           workload_name, options, duration, table);
+           workload_name, options, placement, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
-           workload_name, options, duration, table);
+           workload_name, options, placement, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
-           duration, table);
+           placement, duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig17");
 }

@@ -93,6 +93,39 @@ void BM_StoreWriteBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreWriteBatch);
 
+txn::Transaction ShardProbeTxn(int num_accounts) {
+  txn::Transaction tx;
+  tx.id = 1;
+  tx.contract = "smallbank.send_payment";
+  for (int i = 0; i < num_accounts; ++i) {
+    tx.accounts.push_back("acct" + std::to_string(i * 37));
+  }
+  tx.params = {5};
+  return tx;
+}
+
+void BM_ShardsOf(benchmark::State& state) {
+  // The sorted-distinct-shards vector built for every transaction that
+  // needs the actual shard ids (cross-shard planning).
+  txn::ShardMapper mapper(16);
+  txn::Transaction tx = ShardProbeTxn(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.ShardsOf(tx));
+  }
+}
+BENCHMARK(BM_ShardsOf)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_IsSingleShard(benchmark::State& state) {
+  // The hot classification path (every pulled transaction): early-exits on
+  // the first account mapping to a different shard, with no allocation.
+  txn::ShardMapper mapper(16);
+  txn::Transaction tx = ShardProbeTxn(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.IsSingleShard(tx));
+  }
+}
+BENCHMARK(BM_IsSingleShard)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ZipfianNext(benchmark::State& state) {
   Rng rng(1);
   ZipfianGenerator zipf(1000000, 0.85);

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "core/config.h"
+#include "placement/placement.h"
 #include "workload/workload.h"
 
 namespace thunderbolt::bench {
@@ -254,6 +256,42 @@ inline std::string ClusterWorkloadFromFlags(
     std::exit(2);
   }
   return name;
+}
+
+/// The placement policy a bench binary was asked to run with.
+struct PlacementSelection {
+  std::string policy = "hash";
+  std::string params;
+
+  void ApplyTo(core::ThunderboltConfig* config) const {
+    config->placement = policy;
+    config->placement_params = params;
+  }
+};
+
+/// Shared `--placement <name>` / `--placement-params <k=v,...>` handling
+/// for every bench binary: validates the policy name against
+/// placement::PlacementRegistry::Global() and exits with code 2 on a typo
+/// (mirroring the workload flag — a typo must not silently bench the
+/// default placement).
+inline PlacementSelection PlacementFromFlags(int argc, char** argv) {
+  PlacementSelection selection;
+  std::string name = FlagValue(argc, argv, "placement");
+  if (!name.empty()) {
+    if (!placement::PlacementRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown placement policy \"%s\"; registered:",
+                   name.c_str());
+      for (const std::string& n :
+           placement::PlacementRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    selection.policy = name;
+  }
+  selection.params = FlagValue(argc, argv, "placement-params");
+  return selection;
 }
 
 /// Shared `--json <path>` handling for the figure binaries: when the flag

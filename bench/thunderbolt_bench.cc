@@ -17,10 +17,20 @@
 //   --executors <n>          simulated executors             [8]
 //   --runs <n>               batches per configuration       [5]
 //   --records <n>            population scale                [10000]
+//   --shards <n>             shard-homed generation over n shards  [1]
+//   --placement <name>       placement policy (see --placement-list) [hash]
+//   --placement-params <k=v,...>  policy parameters          []
 //   --params <k=v,...>       extra WorkloadOptions overrides []
 //   --json <path>            output path          [thunderbolt_bench.json]
 //   --smoke                  shrink everything for CI
 //   --list                   print registered workloads and exit
+//   --placement-list         print registered placement policies and exit
+//
+// With --shards > 1 each batch is drawn shard-homed (round-robin over the
+// shards) and every cell reports cross_frac: the fraction of generated
+// transactions the placement policy classifies as cross-shard. Comparing
+// `--placement hash` against `--placement locality` at the same
+// cross_shard_ratio makes the policy's traffic reduction visible per run.
 #include <cinttypes>
 #include <memory>
 #include <string>
@@ -47,6 +57,9 @@ struct DriverConfig {
   uint32_t executors = 8;
   uint32_t runs = 5;
   uint64_t records = 10000;
+  /// Shard count for shard-homed generation (1 = the global mix).
+  uint32_t shards = 1;
+  bench::PlacementSelection placement;
   /// Raw `--params` overrides, applied after the flag-derived fields.
   std::string params;
   std::string json_path = "thunderbolt_bench.json";
@@ -63,6 +76,9 @@ struct SweepResult {
   double p50_latency_us = 0;
   double p99_latency_us = 0;
   double re_execs_per_txn = 0;
+  /// Fraction of generated transactions classified cross-shard by the
+  /// placement policy (0 with --shards 1).
+  double cross_frac = 0;
   bool invariant_ok = false;
 };
 
@@ -102,6 +118,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   workload::WorkloadOptions options;
   options.num_records = config.records;
   options.theta = theta;
+  options.num_shards = config.shards;
   // Scale TPC-C-lite tables with --records so --smoke stays small.
   options.num_warehouses =
       static_cast<uint32_t>(config.records >= 2000 ? 2 : 1);
@@ -114,6 +131,12 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   auto w = workload::WorkloadRegistry::Global().Create(workload_name, options);
   if (w == nullptr) {
     return Status::NotFound("unknown workload: " + workload_name);
+  }
+  std::shared_ptr<placement::PlacementPolicy> policy =
+      workload::InstallPlacement(w.get(), config.placement.policy,
+                                 config.placement.params, config.shards);
+  if (policy == nullptr) {
+    return Status::NotFound("unknown placement: " + config.placement.policy);
   }
   storage::MemKVStore store;
   w->InitStore(&store);
@@ -128,8 +151,23 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   out.theta = theta;
   SimTime total_time = 0;
   Histogram latency_us;
+  uint64_t cross_generated = 0;
   for (uint32_t run = 0; run < config.runs; ++run) {
-    auto batch = w->MakeBatch(batch_size);
+    std::vector<txn::Transaction> batch;
+    if (config.shards > 1) {
+      // Shard-homed generation, round-robin over the shards, so the
+      // placement policy's single- vs cross-shard split is measurable.
+      batch.reserve(batch_size);
+      for (uint32_t i = 0; i < batch_size; ++i) {
+        batch.push_back(
+            w->NextForShard(static_cast<ShardId>(i % config.shards)));
+      }
+      for (const txn::Transaction& tx : batch) {
+        if (!w->mapper().IsSingleShard(tx)) ++cross_generated;
+      }
+    } else {
+      batch = w->MakeBatch(batch_size);
+    }
     if (engine_name == "serial") {
       baselines::SerialExecutionResult r = baselines::ExecuteSerial(
           *registry, batch, &store, serial_op_cost);
@@ -167,6 +205,10 @@ Result<SweepResult> RunCell(const DriverConfig& config,
       out.txns == 0 ? 0
                     : static_cast<double>(out.aborts) /
                           static_cast<double>(out.txns);
+  out.cross_frac = out.txns == 0
+                       ? 0
+                       : static_cast<double>(cross_generated) /
+                             static_cast<double>(out.txns);
   out.invariant_ok = w->CheckInvariant(store).ok();
   return out;
 }
@@ -179,8 +221,10 @@ bool WriteResultsJson(const std::string& path,
   std::fprintf(f,
                "{\n  \"bench\": \"thunderbolt_bench\",\n"
                "  \"executors\": %u,\n  \"runs\": %u,\n  \"records\": "
-               "%" PRIu64 ",\n  \"results\": [",
-               config.executors, config.runs, config.records);
+               "%" PRIu64 ",\n  \"shards\": %u,\n  \"placement\": \"%s\",\n"
+               "  \"results\": [",
+               config.executors, config.runs, config.records, config.shards,
+               bench::JsonEscape(config.placement.policy).c_str());
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     std::fprintf(
@@ -189,11 +233,12 @@ bool WriteResultsJson(const std::string& path,
         "\"batch_size\": %u, \"theta\": %.3f, \"txns\": %" PRIu64
         ", \"tps\": %.1f, \"p50_latency_us\": %.1f, \"p99_latency_us\": "
         "%.1f, \"aborts\": %" PRIu64 ", \"re_execs_per_txn\": %.4f, "
-        "\"invariant_ok\": %s}",
+        "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
         i == 0 ? "" : ",", bench::JsonEscape(r.workload).c_str(),
         bench::JsonEscape(r.engine).c_str(), r.batch_size, r.theta, r.txns,
         r.tps, r.p50_latency_us, r.p99_latency_us, r.aborts,
-        r.re_execs_per_txn, r.invariant_ok ? "true" : "false");
+        r.re_execs_per_txn, r.cross_frac,
+        r.invariant_ok ? "true" : "false");
   }
   std::fprintf(f, "%s\n  ]\n}\n", results.empty() ? "" : "\n");
   std::fclose(f);
@@ -266,11 +311,21 @@ DriverConfig ParseFlags(int argc, char** argv) {
       std::exit(2);
     }
   }
+  std::string shards = bench::FlagValue(argc, argv, "shards");
+  if (!shards.empty()) {
+    config.shards =
+        static_cast<uint32_t>(std::strtoul(shards.c_str(), nullptr, 10));
+    if (config.shards == 0) {
+      std::fprintf(stderr, "invalid --shards \"%s\"\n", shards.c_str());
+      std::exit(2);
+    }
+  }
+  config.placement = bench::PlacementFromFlags(argc, argv);
   config.params = bench::FlagValue(argc, argv, "params");
   // The driver's own flags/sweep own these axes; a --params override would
   // be clobbered per cell and mislabel the JSON series.
-  bench::RejectReservedParams(config.params,
-                              {"theta", "num_records", "num_accounts"});
+  bench::RejectReservedParams(
+      config.params, {"theta", "num_records", "num_accounts", "num_shards"});
   std::string json = bench::FlagValue(argc, argv, "json");
   if (!json.empty()) config.json_path = json;
   // Smoke shrinks only what the user didn't set explicitly.
@@ -294,13 +349,25 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (std::string(argv[i]) == "--placement-list") {
+      for (const std::string& name :
+           placement::PlacementRegistry::Global().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
   }
   DriverConfig config = ParseFlags(argc, argv);
   bench::Banner("thunderbolt_bench", "workload x engine x batch/skew sweep",
                 "CE sustains the highest throughput with the fewest "
                 "re-executions as batch size and skew grow");
+  if (config.shards > 1) {
+    std::printf("shards: %u  placement: %s\n", config.shards,
+                config.placement.policy.c_str());
+  }
   bench::Table table({"workload", "engine", "batch", "theta", "tput(tps)",
-                      "p50(us)", "p99(us)", "re-exec/txn", "invariant"},
+                      "p50(us)", "p99(us)", "re-exec/txn", "crossfrac",
+                      "invariant"},
                      "sweep");
   std::vector<SweepResult> results;
   bool all_ok = true;
@@ -325,6 +392,7 @@ int main(int argc, char** argv) {
                      bench::Fmt(cell->p50_latency_us, 1),
                      bench::Fmt(cell->p99_latency_us, 1),
                      bench::Fmt(cell->re_execs_per_txn, 3),
+                     bench::Fmt(cell->cross_frac, 3),
                      cell->invariant_ok ? "ok" : "VIOLATED"});
         }
       }

@@ -39,6 +39,13 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
                  workload_name.c_str());
     std::abort();
   }
+  placement_ = workload::InstallPlacement(
+      workload_.get(), config_.placement, config_.placement_params, config_.n);
+  if (placement_ == nullptr) {
+    std::fprintf(stderr, "Cluster: unknown placement policy \"%s\"\n",
+                 config_.placement.c_str());
+    std::abort();
+  }
   shared_ = std::make_unique<SharedClusterState>();
   workload_->InitStore(&shared_->canonical);
   metrics_ = std::make_unique<ClusterMetrics>();
@@ -47,7 +54,7 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
   for (ReplicaId id = 0; id < config_.n; ++id) {
     nodes_.push_back(std::make_unique<ThunderboltNode>(
         config_, id, simulator_.get(), network_.get(), &keys_, registry_,
-        workload_.get(), shared_.get(), metrics_.get(),
+        workload_.get(), placement_, shared_.get(), metrics_.get(),
         /*is_observer=*/id == 0));
   }
 }
@@ -75,6 +82,7 @@ ClusterResult Cluster::Run(SimTime duration) {
   const uint64_t conv0 = metrics_->conversions;
   const uint64_t reconf0 = metrics_->reconfigurations;
   const uint64_t aborts0 = metrics_->preplay_aborts;
+  const size_t migrations0 = metrics_->migration_events.size();
 
   if (!started_) {
     started_ = true;
@@ -92,6 +100,7 @@ ClusterResult Cluster::Run(SimTime duration) {
   result.conversions = metrics_->conversions - conv0;
   result.reconfigurations = metrics_->reconfigurations - reconf0;
   result.preplay_aborts = metrics_->preplay_aborts - aborts0;
+  result.migrations = metrics_->migration_events.size() - migrations0;
   result.commit_times = metrics_->commit_times;
 
   // A transaction counts toward this window only once its pipeline

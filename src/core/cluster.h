@@ -12,6 +12,7 @@
 #include "common/simulator.h"
 #include "core/config.h"
 #include "core/node.h"
+#include "placement/placement.h"
 #include "workload/workload.h"
 
 namespace thunderbolt::core {
@@ -26,6 +27,9 @@ struct ClusterResult {
   uint64_t conversions = 0;
   uint64_t reconfigurations = 0;
   uint64_t preplay_aborts = 0;
+  /// Hot-key migrations applied at reconfiguration boundaries in this
+  /// window (directory placement; 0 for policies without migration).
+  uint64_t migrations = 0;
   SimTime duration = 0;
   double throughput_tps = 0;     // Committed transactions per virtual second.
   double avg_latency_s = 0;      // Mean commit latency in virtual seconds.
@@ -75,6 +79,13 @@ class Cluster {
   const ClusterMetrics& metrics() const { return *metrics_; }
   workload::Workload& workload() { return *workload_; }
   const workload::Workload& workload() const { return *workload_; }
+  /// The placement policy every node maps accounts through (mutated only
+  /// at reconfiguration boundaries by hot-key migration).
+  const placement::PlacementPolicy& placement() const { return *placement_; }
+  /// Hot-key migrations applied since construction, in order.
+  const std::vector<placement::MigrationEvent>& migration_events() const {
+    return metrics_->migration_events;
+  }
 
   /// The workload's consistency invariant over the canonical committed
   /// state (end-of-run validation for tests and benches).
@@ -89,6 +100,10 @@ class Cluster {
   crypto::KeyDirectory keys_;
   std::shared_ptr<const contract::Registry> registry_;
   std::unique_ptr<workload::Workload> workload_;
+  /// Shared with every node and (as const) with the workload's mapper;
+  /// declared after workload_ so the locality policy's hint — which calls
+  /// back into the workload — never outlives it.
+  std::shared_ptr<placement::PlacementPolicy> placement_;
   std::unique_ptr<SharedClusterState> shared_;
   std::unique_ptr<ClusterMetrics> metrics_;
   std::vector<std::unique_ptr<ThunderboltNode>> nodes_;

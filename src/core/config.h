@@ -3,6 +3,7 @@
 #define THUNDERBOLT_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "ce/sim_executor_pool.h"
 #include "common/types.h"
@@ -51,6 +52,14 @@ struct ThunderboltConfig {
   ///         cross-shard transactions finalize, converting only after
   ///         leader_timeout (the section 5.4 preplay-recovery variant).
   bool use_skip_blocks = false;
+
+  // --- Placement -------------------------------------------------------------
+  /// Account -> shard placement policy, by placement::PlacementRegistry
+  /// name ("hash", "range", "directory", "locality"). "directory" is the
+  /// one that performs hot-key migration at reconfiguration boundaries.
+  std::string placement = "hash";
+  /// Policy-specific parameters (see placement::PlacementOptions::params).
+  std::string placement_params;
 
   // --- Reconfiguration (section 6) ------------------------------------------
   /// Broadcast a Shift block when some proposer has been silent for K

@@ -9,10 +9,13 @@
 namespace thunderbolt::core {
 
 CrossShardResult CrossShardExecutor::Execute(
-    const std::vector<txn::Transaction>& txs,
-    storage::MemKVStore* store) const {
+    const std::vector<txn::Transaction>& txs, storage::MemKVStore* store,
+    const std::vector<ShardId>* home_shards,
+    placement::AccessTracker* tracker) const {
   CrossShardResult result;
   if (txs.empty()) return result;
+  const bool track = mapper_ != nullptr && home_shards != nullptr &&
+                     home_shards->size() == txs.size();
 
   // Execute in commit order (the state outcome), accumulating per-account
   // queue times (the virtual-time plan). A transaction's cost lands on
@@ -21,7 +24,20 @@ CrossShardResult CrossShardExecutor::Execute(
   // total work divided by the workers.
   std::unordered_map<std::string, SimTime> account_queue;
   SimTime total = 0;
-  for (const txn::Transaction& tx : txs) {
+  for (size_t t = 0; t < txs.size(); ++t) {
+    const txn::Transaction& tx = txs[t];
+    if (track) {
+      // Remote-access accounting: every account this transaction reaches
+      // outside its home shard is a pull the placement policy could have
+      // avoided — the signal hot-key migration ranks on.
+      const ShardId home = (*home_shards)[t];
+      for (const std::string& account : tx.accounts) {
+        if (mapper_->ShardOfAccount(account) != home) {
+          ++result.remote_accesses;
+          if (tracker != nullptr) tracker->RecordRemoteAccess(account, home);
+        }
+      }
+    }
     std::vector<txn::Transaction> one{tx};
     baselines::SerialExecutionResult r =
         baselines::ExecuteSerial(*registry_, one, store, op_cost_);

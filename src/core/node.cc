@@ -61,8 +61,9 @@ ThunderboltNode::ThunderboltNode(
     const ThunderboltConfig& config, ReplicaId id, sim::Simulator* simulator,
     net::SimNetwork* network, const crypto::KeyDirectory* keys,
     std::shared_ptr<const contract::Registry> registry,
-    workload::Workload* workload, SharedClusterState* shared,
-    ClusterMetrics* metrics, bool is_observer)
+    workload::Workload* workload,
+    std::shared_ptr<placement::PlacementPolicy> placement,
+    SharedClusterState* shared, ClusterMetrics* metrics, bool is_observer)
     : config_(config),
       id_(id),
       simulator_(simulator),
@@ -70,11 +71,13 @@ ThunderboltNode::ThunderboltNode(
       keys_(keys),
       registry_(std::move(registry)),
       workload_(workload),
+      placement_(std::move(placement)),
       shared_(shared),
       metrics_(metrics),
       is_observer_(is_observer),
       pool_(config.num_executors, config.exec_costs),
-      cross_executor_(registry_.get(), config.exec_costs.op_cost),
+      cross_executor_(registry_.get(), config.exec_costs.op_cost,
+                      /*num_workers=*/4, &workload->mapper()),
       owned_shard_(ShardOwnedBy(id, 0, config.n)) {
   dag::DagConfig dag_config;
   dag_config.n = config_.n;
@@ -505,8 +508,17 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
         cross_outcome.executed = txs.size();
         cross_outcome.duration = r.duration;
       } else {
+        // Home shards anchor the remote-access counters hot-key migration
+        // ranks on: an account pulled in by a transaction homed elsewhere
+        // is remote traffic its placement could have avoided.
+        std::vector<ShardId> homes;
+        homes.reserve(txs.size());
+        for (const txn::Transaction& tx : txs) {
+          homes.push_back(workload_->HomeShard(tx));
+        }
         CrossShardResult r =
-            cross_executor_.Execute(txs, &shared_->canonical);
+            cross_executor_.Execute(txs, &shared_->canonical, &homes,
+                                    &shared_->access_tracker);
         cross_outcome.executed = r.executed;
         cross_outcome.duration = r.duration;
       }
@@ -571,6 +583,26 @@ void ThunderboltNode::Reconfigure(Round ending_round) {
   ++epoch_;
   owned_shard_ = ShardOwnedBy(id_, epoch_, config_.n);
   if (is_observer_) ++metrics_->reconfigurations;
+
+  // Hot-key migration (section 6 boundary): the epoch fence is the only
+  // point where no in-flight preplay can straddle a placement change. The
+  // first replica to cross into the new epoch applies the deterministic
+  // rebalance — peers share the policy object in this simulation, exactly
+  // as every real replica would compute the identical migration from the
+  // identical committed access counters.
+  if (shared_->rebalanced_epochs.insert(epoch_).second) {
+    std::vector<placement::MigrationEvent> events =
+        placement_->Rebalance(shared_->access_tracker);
+    shared_->access_tracker.Clear();
+    if (!events.empty()) {
+      // Re-homed accounts change the workload's per-shard buckets.
+      workload_->SetPlacementPolicy(placement_);
+      for (placement::MigrationEvent& e : events) {
+        e.epoch = epoch_;
+        metrics_->migration_events.push_back(std::move(e));
+      }
+    }
+  }
 
   // Uncommitted state of the old DAG is discarded; clients retransmit the
   // affected transactions (open-loop workload keeps generating).

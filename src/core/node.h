@@ -56,6 +56,7 @@
 #include "crypto/signature.h"
 #include "dag/dag_core.h"
 #include "net/network.h"
+#include "placement/placement.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
 #include "workload/workload.h"
@@ -87,6 +88,9 @@ struct ClusterMetrics {
   /// observer; drives Figure 16.
   std::vector<std::pair<Round, SimTime>> commit_times;
   SimTime last_commit_time = 0;
+  /// Hot-key migrations applied at reconfiguration boundaries, in order
+  /// (directory placement; empty for policies without migration).
+  std::vector<placement::MigrationEvent> migration_events;
 };
 
 /// State shared across all nodes of a simulated cluster: the canonical
@@ -106,6 +110,14 @@ struct SharedClusterState {
   };
   std::unordered_map<Hash256, CrossOutcome> cross_outcomes;  // By leader.
   std::unordered_set<Hash256> processed_leaders;
+  /// Remote-access counters for the current epoch, recorded by the first
+  /// replica to execute each committed cross-shard batch and consumed by
+  /// PlacementPolicy::Rebalance at the next reconfiguration boundary.
+  placement::AccessTracker access_tracker;
+  /// Epochs whose boundary rebalance already ran (the first replica to
+  /// enter an epoch performs the deterministic migration; peers share the
+  /// policy object in this simulation).
+  std::unordered_set<EpochId> rebalanced_epochs;
 };
 
 class ThunderboltNode {
@@ -115,6 +127,7 @@ class ThunderboltNode {
                   const crypto::KeyDirectory* keys,
                   std::shared_ptr<const contract::Registry> registry,
                   workload::Workload* workload,
+                  std::shared_ptr<placement::PlacementPolicy> placement,
                   SharedClusterState* shared, ClusterMetrics* metrics,
                   bool is_observer);
 
@@ -174,6 +187,7 @@ class ThunderboltNode {
   const crypto::KeyDirectory* keys_;
   std::shared_ptr<const contract::Registry> registry_;
   workload::Workload* workload_;
+  std::shared_ptr<placement::PlacementPolicy> placement_;
   SharedClusterState* shared_;
   ClusterMetrics* metrics_;
   const bool is_observer_;

@@ -1,0 +1,413 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+
+namespace thunderbolt::placement {
+
+namespace {
+
+/// One "key=value" assignment from a placement param spec.
+struct Param {
+  std::string key;
+  std::string value;
+};
+
+[[noreturn]] void AbortBadParams(const std::string& spec,
+                                 const std::string& why) {
+  std::fprintf(stderr, "placement: bad params \"%s\": %s\n", spec.c_str(),
+               why.c_str());
+  std::abort();
+}
+
+/// Splits "key=value[,key=value...]", aborting on malformed entries —
+/// placement is cluster configuration and a typo must not be ignored.
+std::vector<Param> SplitParams(const std::string& spec) {
+  std::vector<Param> params;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) {
+      std::string item = spec.substr(start, comma - start);
+      size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+        AbortBadParams(spec, "\"" + item + "\" is not key=value");
+      }
+      params.push_back(Param{item.substr(0, eq), item.substr(eq + 1)});
+    }
+    start = comma + 1;
+  }
+  return params;
+}
+
+/// Splits a ';'-separated list value (ranges' split points, directory
+/// assignments).
+std::vector<std::string> SplitSemis(const std::string& value) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t semi = value.find(';', start);
+    if (semi == std::string::npos) semi = value.size();
+    if (semi > start) items.push_back(value.substr(start, semi - start));
+    start = semi + 1;
+  }
+  return items;
+}
+
+uint32_t ParseShardCount(uint32_t num_shards) {
+  return num_shards == 0 ? 1 : num_shards;
+}
+
+uint64_t ParseU64OrAbort(const std::string& spec, const Param& p) {
+  if (p.value.empty() || p.value[0] == '-' || p.value[0] == '+') {
+    AbortBadParams(spec, p.key + ": bad integer \"" + p.value + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(p.value.c_str(), &end, 10);
+  if (end == p.value.c_str() || *end != '\0' || errno == ERANGE) {
+    AbortBadParams(spec, p.key + ": bad integer \"" + p.value + "\"");
+  }
+  return v;
+}
+
+ShardId HashShard(const std::string& account, uint32_t num_shards) {
+  return static_cast<ShardId>(Sha256::Digest(account).Prefix64() % num_shards);
+}
+
+}  // namespace
+
+// --- AccessTracker ----------------------------------------------------------
+
+void AccessTracker::RecordRemoteAccess(const std::string& account,
+                                       ShardId home_shard) {
+  ++counts_[account][home_shard];
+  ++total_;
+}
+
+std::vector<AccessTracker::AccountStats> AccessTracker::HottestRemote(
+    size_t top_k) const {
+  std::vector<AccountStats> all;
+  all.reserve(counts_.size());
+  for (const auto& [account, by_shard] : counts_) {
+    AccountStats s;
+    s.account = account;
+    s.by_shard.assign(by_shard.begin(), by_shard.end());
+    std::sort(s.by_shard.begin(), s.by_shard.end());
+    for (const auto& [shard, count] : s.by_shard) s.total += count;
+    all.push_back(std::move(s));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const AccountStats& a, const AccountStats& b) {
+              if (a.total != b.total) return a.total > b.total;
+              return a.account < b.account;
+            });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+void AccessTracker::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+// --- HashPlacement ----------------------------------------------------------
+
+HashPlacement::HashPlacement(uint32_t num_shards)
+    : num_shards_(ParseShardCount(num_shards)) {}
+
+ShardId HashPlacement::ShardOfAccount(const std::string& account) const {
+  return HashShard(account, num_shards_);
+}
+
+uint64_t HashPlacement::Fingerprint() const {
+  Sha256 h;
+  h.Update("placement.hash");
+  h.UpdateInt(num_shards_);
+  return h.Finalize().Prefix64();
+}
+
+// --- RangePlacement ---------------------------------------------------------
+
+RangePlacement::RangePlacement(uint32_t num_shards,
+                               std::vector<std::string> splits)
+    : num_shards_(ParseShardCount(num_shards)), splits_(std::move(splits)) {
+  assert(std::is_sorted(splits_.begin(), splits_.end()));
+  assert(splits_.size() < num_shards_ || num_shards_ == 1);
+  if (splits_.size() >= num_shards_) splits_.resize(num_shards_ - 1);
+}
+
+std::vector<std::string> RangePlacement::DefaultSplits(uint32_t num_shards) {
+  num_shards = ParseShardCount(num_shards);
+  std::vector<std::string> splits;
+  splits.reserve(num_shards - 1);
+  for (uint32_t i = 1; i < num_shards; ++i) {
+    // Two-byte big-endian boundary at 65536 * i / n: strictly increasing
+    // for any shard count, partitioning the prefix space evenly.
+    uint32_t boundary = static_cast<uint32_t>(
+        (static_cast<uint64_t>(i) << 16) / num_shards);
+    std::string split;
+    split.push_back(static_cast<char>(boundary >> 8));
+    split.push_back(static_cast<char>(boundary & 0xff));
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+ShardId RangePlacement::ShardOfAccount(const std::string& account) const {
+  return static_cast<ShardId>(
+      std::upper_bound(splits_.begin(), splits_.end(), account) -
+      splits_.begin());
+}
+
+uint64_t RangePlacement::Fingerprint() const {
+  Sha256 h;
+  h.Update("placement.range");
+  h.UpdateInt(num_shards_);
+  for (const std::string& s : splits_) {
+    h.UpdateInt<uint32_t>(static_cast<uint32_t>(s.size()));
+    h.Update(s);
+  }
+  return h.Finalize().Prefix64();
+}
+
+// --- DirectoryPlacement -----------------------------------------------------
+
+DirectoryPlacement::DirectoryPlacement(uint32_t num_shards, uint32_t top_k)
+    : num_shards_(ParseShardCount(num_shards)),
+      top_k_(top_k == 0 ? 1 : top_k) {}
+
+ShardId DirectoryPlacement::ShardOfAccount(const std::string& account) const {
+  auto it = directory_.find(account);
+  if (it != directory_.end()) return it->second;
+  return HashShard(account, num_shards_);
+}
+
+void DirectoryPlacement::Assign(const std::string& account, ShardId shard) {
+  directory_[account] = shard % num_shards_;
+}
+
+std::vector<MigrationEvent> DirectoryPlacement::Rebalance(
+    const AccessTracker& stats) {
+  std::vector<MigrationEvent> events;
+  for (const AccessTracker::AccountStats& s : stats.HottestRemote(top_k_)) {
+    const ShardId current = ShardOfAccount(s.account);
+    // Target: the shard whose transactions reached out to this account
+    // most often; ties break toward the lowest shard id.
+    ShardId target = current;
+    uint64_t best = 0;
+    for (const auto& [shard, count] : s.by_shard) {
+      if (count > best) {
+        best = count;
+        target = shard;
+      }
+    }
+    if (target == current) continue;  // Already optimally placed.
+    directory_[s.account] = target;
+    events.push_back(MigrationEvent{s.account, current, target, s.total, 0});
+  }
+  return events;
+}
+
+uint64_t DirectoryPlacement::Fingerprint() const {
+  Sha256 h;
+  h.Update("placement.directory");
+  h.UpdateInt(num_shards_);
+  for (const auto& [account, shard] : directory_) {
+    h.UpdateInt<uint32_t>(static_cast<uint32_t>(account.size()));
+    h.Update(account);
+    h.UpdateInt(shard);
+  }
+  return h.Finalize().Prefix64();
+}
+
+std::string DirectoryPlacement::Serialize() const {
+  std::string out = "directory " + std::to_string(num_shards_) + " " +
+                    std::to_string(top_k_) + "\n";
+  for (const auto& [account, shard] : directory_) {
+    out += account;
+    out += ':';
+    out += std::to_string(shard);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::unique_ptr<DirectoryPlacement>> DirectoryPlacement::Deserialize(
+    const std::string& data) {
+  size_t eol = data.find('\n');
+  if (eol == std::string::npos) {
+    return Status::InvalidArgument("directory: missing header line");
+  }
+  uint32_t num_shards = 0, top_k = 0;
+  if (std::sscanf(data.substr(0, eol).c_str(), "directory %u %u", &num_shards,
+                  &top_k) != 2 ||
+      num_shards == 0) {
+    return Status::InvalidArgument("directory: bad header \"" +
+                                   data.substr(0, eol) + "\"");
+  }
+  auto policy = std::make_unique<DirectoryPlacement>(num_shards, top_k);
+  size_t start = eol + 1;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) end = data.size();
+    if (end > start) {
+      std::string line = data.substr(start, end - start);
+      // Accounts never contain ':' in this codebase, but parse from the
+      // last one anyway so a future account format can't corrupt shards.
+      size_t colon = line.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == line.size()) {
+        return Status::InvalidArgument("directory: bad entry \"" + line +
+                                       "\"");
+      }
+      char* endp = nullptr;
+      unsigned long shard = std::strtoul(line.c_str() + colon + 1, &endp, 10);
+      if (*endp != '\0' || shard >= num_shards) {
+        return Status::InvalidArgument("directory: bad shard in \"" + line +
+                                       "\"");
+      }
+      policy->directory_[line.substr(0, colon)] =
+          static_cast<ShardId>(shard);
+    }
+    start = end + 1;
+  }
+  return policy;
+}
+
+// --- LocalityPlacement ------------------------------------------------------
+
+LocalityPlacement::LocalityPlacement(uint32_t num_shards, AccountGroupFn hint)
+    : num_shards_(ParseShardCount(num_shards)), hint_(std::move(hint)) {}
+
+ShardId LocalityPlacement::ShardOfAccount(const std::string& account) const {
+  if (!hint_) return HashShard(account, num_shards_);
+  return HashShard(hint_(account), num_shards_);
+}
+
+uint64_t LocalityPlacement::Fingerprint() const {
+  Sha256 h;
+  h.Update("placement.locality");
+  h.UpdateInt(num_shards_);
+  return h.Finalize().Prefix64();
+}
+
+// --- PlacementRegistry ------------------------------------------------------
+
+void PlacementRegistry::Register(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::unique_ptr<PlacementPolicy> PlacementRegistry::Create(
+    const std::string& name, const PlacementOptions& options) const {
+  auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second(options);
+}
+
+bool PlacementRegistry::Contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> PlacementRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+PlacementRegistry& PlacementRegistry::Global() {
+  // Built-ins register here (not via static initializers, which static
+  // libraries would dead-strip).
+  static PlacementRegistry* registry = [] {
+    auto* r = new PlacementRegistry();
+    r->Register("hash", [](const PlacementOptions& options) {
+      for (const Param& p : SplitParams(options.params)) {
+        AbortBadParams(options.params, "hash: unknown key \"" + p.key + "\"");
+      }
+      return std::unique_ptr<PlacementPolicy>(
+          new HashPlacement(options.num_shards));
+    });
+    r->Register("range", [](const PlacementOptions& options) {
+      std::vector<std::string> splits;
+      bool have_splits = false;
+      for (const Param& p : SplitParams(options.params)) {
+        if (p.key == "splits") {
+          splits = SplitSemis(p.value);
+          have_splits = true;
+          if (!std::is_sorted(splits.begin(), splits.end())) {
+            AbortBadParams(options.params, "splits must be sorted");
+          }
+          if (options.num_shards > 0 &&
+              splits.size() > options.num_shards - 1) {
+            AbortBadParams(options.params,
+                           "more splits than shard boundaries");
+          }
+        } else {
+          AbortBadParams(options.params,
+                         "range: unknown key \"" + p.key + "\"");
+        }
+      }
+      if (!have_splits) {
+        splits = RangePlacement::DefaultSplits(options.num_shards);
+      }
+      return std::unique_ptr<PlacementPolicy>(
+          new RangePlacement(options.num_shards, std::move(splits)));
+    });
+    r->Register("directory", [](const PlacementOptions& options) {
+      const uint32_t num_shards = ParseShardCount(options.num_shards);
+      uint32_t top_k = DirectoryPlacement::kDefaultTopK;
+      std::vector<std::pair<std::string, ShardId>> assignments;
+      for (const Param& p : SplitParams(options.params)) {
+        if (p.key == "top_k") {
+          top_k = static_cast<uint32_t>(ParseU64OrAbort(options.params, p));
+        } else if (p.key == "assign") {
+          for (const std::string& entry : SplitSemis(p.value)) {
+            size_t colon = entry.rfind(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 == entry.size()) {
+              AbortBadParams(options.params,
+                             "assign entry \"" + entry + "\" is not "
+                             "account:shard");
+            }
+            char* end = nullptr;
+            unsigned long shard =
+                std::strtoul(entry.c_str() + colon + 1, &end, 10);
+            if (*end != '\0' || shard >= num_shards) {
+              AbortBadParams(options.params, "assign entry \"" + entry +
+                                                 "\": shard out of range");
+            }
+            assignments.emplace_back(entry.substr(0, colon),
+                                     static_cast<ShardId>(shard));
+          }
+        } else {
+          AbortBadParams(options.params,
+                         "directory: unknown key \"" + p.key + "\"");
+        }
+      }
+      auto policy =
+          std::make_unique<DirectoryPlacement>(options.num_shards, top_k);
+      for (const auto& [account, shard] : assignments) {
+        policy->Assign(account, shard);
+      }
+      return std::unique_ptr<PlacementPolicy>(std::move(policy));
+    });
+    r->Register("locality", [](const PlacementOptions& options) {
+      for (const Param& p : SplitParams(options.params)) {
+        AbortBadParams(options.params,
+                       "locality: unknown key \"" + p.key + "\"");
+      }
+      return std::unique_ptr<PlacementPolicy>(
+          new LocalityPlacement(options.num_shards, options.hint));
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace thunderbolt::placement

@@ -1,0 +1,273 @@
+// Pluggable placement subsystem: policy-driven account -> shard mapping.
+//
+// Thunderbolt classifies transactions as single- vs cross-shard purely from
+// their account arguments (paper section 3.1), so *where* accounts live is
+// the single biggest lever on cross-shard traffic. This module makes that
+// decision a first-class, swappable policy instead of a hard-coded hash:
+//
+//   hash       Sha256(account) % num_shards — the historical default,
+//              byte-identical to the mapping txn::ShardMapper always used.
+//   range      Ordered account-prefix ranges: shard i holds the accounts
+//              between split points i-1 and i ("splits=g;p" puts [..,"g")
+//              on shard 0, ["g","p") on shard 1, ["p",..) on shard 2).
+//   directory  An explicit account -> shard dictionary with a hash
+//              fallback for unlisted accounts. Serializable so every
+//              replica can hold the same mapping, and the only built-in
+//              that supports hot-key migration: Rebalance consults remote-
+//              access counters and deterministically re-homes the top-K
+//              hottest remote-accessed accounts.
+//   locality   Workload-hinted: accounts are first folded onto a locality
+//              group (e.g. TPC-C "w3.d5.c12" -> "w3") by the workload's
+//              PlacementHint, then the group is hashed — so entities that
+//              transact together land on the same shard.
+//
+// Policies register by name in PlacementRegistry::Global(), mirroring
+// workload::WorkloadRegistry, which is how core::Cluster and the bench
+// drivers select one from a `--placement <name>` flag without compile-time
+// coupling. Every policy must be deterministic: all replicas construct the
+// same policy from the same configuration and must agree on every lookup,
+// which Fingerprint() lets tests and peers assert cheaply.
+#ifndef THUNDERBOLT_PLACEMENT_PLACEMENT_H_
+#define THUNDERBOLT_PLACEMENT_PLACEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace thunderbolt::placement {
+
+/// Maps an account to the locality group it should co-locate with (the
+/// "locality" policy hashes the group instead of the account). Supplied by
+/// the workload — see workload::Workload::PlacementHint.
+using AccountGroupFn = std::function<std::string(const std::string&)>;
+
+/// Everything a policy factory may consume. Fields a policy does not
+/// understand are ignored (e.g. `hint` by "hash").
+struct PlacementOptions {
+  uint32_t num_shards = 1;
+  /// Policy-specific "key=value[,key=value...]" parameters:
+  ///   range:     splits=<s1>;<s2>;...   (sorted, at most num_shards - 1)
+  ///   directory: top_k=<n>              (hot keys migrated per Rebalance)
+  ///              assign=<acct>:<shard>;<acct>:<shard>;...
+  /// Unknown keys or malformed values abort — placement is cluster
+  /// configuration, and a typo must not silently place every account.
+  std::string params;
+  /// Optional workload locality hint (see AccountGroupFn).
+  AccountGroupFn hint;
+};
+
+/// One hot-key migration performed by Rebalance.
+struct MigrationEvent {
+  std::string account;
+  ShardId from = 0;
+  ShardId to = 0;
+  /// Remote accesses observed for the account in the closing epoch.
+  uint64_t remote_accesses = 0;
+  /// The epoch the migration takes effect in (filled by the cluster).
+  EpochId epoch = 0;
+};
+
+/// Per-shard remote-access counters. The cluster records, for every
+/// committed cross-shard transaction, each account the transaction reached
+/// *outside* its home shard — keyed by the accessing (home) shard, so
+/// Rebalance can move a hot account toward the shard that pulls on it
+/// hardest. Aggregation is order-independent: any insertion order yields
+/// the same HottestRemote() ranking.
+class AccessTracker {
+ public:
+  /// Account was accessed by a transaction homed at `home_shard` while
+  /// living in a different shard.
+  void RecordRemoteAccess(const std::string& account, ShardId home_shard);
+
+  struct AccountStats {
+    std::string account;
+    uint64_t total = 0;
+    /// Accesses by home shard, ascending shard id.
+    std::vector<std::pair<ShardId, uint64_t>> by_shard;
+  };
+
+  /// The `top_k` hottest remote-accessed accounts, sorted by total
+  /// accesses descending with ties broken by account name — deterministic
+  /// regardless of recording order.
+  std::vector<AccountStats> HottestRemote(size_t top_k) const;
+
+  uint64_t total_remote_accesses() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+  void Clear();
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<ShardId, uint64_t>>
+      counts_;
+  uint64_t total_ = 0;
+};
+
+/// Abstract account -> shard placement. Implementations must be total
+/// (every account maps to a shard < num_shards), stable (same account,
+/// same answer, until Rebalance) and replica-deterministic.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Registry name ("hash", "range", "directory", "locality").
+  virtual std::string name() const = 0;
+
+  virtual uint32_t num_shards() const = 0;
+
+  virtual ShardId ShardOfAccount(const std::string& account) const = 0;
+
+  /// Hot-key migration hook, invoked by the cluster at reconfiguration
+  /// boundaries (the only point where the epoch fences in-flight
+  /// transactions). Policies that support migration re-home hot accounts
+  /// and return the moves; the default is a no-op. Must be deterministic
+  /// in `stats` — every replica applies the same migration.
+  virtual std::vector<MigrationEvent> Rebalance(const AccessTracker& stats) {
+    (void)stats;
+    return {};
+  }
+
+  /// Deterministic digest of the policy's full mapping state. Two replicas
+  /// with equal fingerprints agree on every account's shard; changes after
+  /// every Rebalance that moved an account.
+  virtual uint64_t Fingerprint() const = 0;
+};
+
+// --- Built-ins --------------------------------------------------------------
+
+/// Sha256(account) % num_shards — byte-identical to the historical
+/// txn::ShardMapper behavior.
+class HashPlacement final : public PlacementPolicy {
+ public:
+  explicit HashPlacement(uint32_t num_shards);
+
+  std::string name() const override { return "hash"; }
+  uint32_t num_shards() const override { return num_shards_; }
+  ShardId ShardOfAccount(const std::string& account) const override;
+  uint64_t Fingerprint() const override;
+
+ private:
+  uint32_t num_shards_;
+};
+
+/// Ordered account ranges delimited by `splits` (sorted, at most
+/// num_shards - 1 entries): an account maps to the index of the first
+/// split greater than it. With fewer splits than shards the trailing
+/// shards simply receive no accounts.
+class RangePlacement final : public PlacementPolicy {
+ public:
+  RangePlacement(uint32_t num_shards, std::vector<std::string> splits);
+
+  /// Evenly partitions the two-byte prefix space — a total, balanced
+  /// default when no workload-specific splits are configured.
+  static std::vector<std::string> DefaultSplits(uint32_t num_shards);
+
+  std::string name() const override { return "range"; }
+  uint32_t num_shards() const override { return num_shards_; }
+  ShardId ShardOfAccount(const std::string& account) const override;
+  uint64_t Fingerprint() const override;
+
+  const std::vector<std::string>& splits() const { return splits_; }
+
+ private:
+  uint32_t num_shards_;
+  std::vector<std::string> splits_;
+};
+
+/// Explicit account -> shard dictionary with a hash fallback, the policy
+/// behind hot-key migration. The dictionary is serializable so replicas
+/// (or tests) can exchange and compare the exact mapping.
+class DirectoryPlacement final : public PlacementPolicy {
+ public:
+  static constexpr uint32_t kDefaultTopK = 8;
+
+  explicit DirectoryPlacement(uint32_t num_shards,
+                              uint32_t top_k = kDefaultTopK);
+
+  std::string name() const override { return "directory"; }
+  uint32_t num_shards() const override { return num_shards_; }
+  ShardId ShardOfAccount(const std::string& account) const override;
+
+  /// Deterministically re-homes up to top_k hottest remote-accessed
+  /// accounts to the shard that accessed them most (ties: lowest shard
+  /// id). Accounts already living in their hottest accessor's shard are
+  /// left in place and do not consume a migration slot.
+  std::vector<MigrationEvent> Rebalance(const AccessTracker& stats) override;
+
+  uint64_t Fingerprint() const override;
+
+  /// Pins `account` to `shard` (clamped to num_shards).
+  void Assign(const std::string& account, ShardId shard);
+
+  /// Text round-trip so all replicas can agree on the exact dictionary:
+  /// Deserialize(Serialize()) reconstructs an equal-fingerprint policy.
+  std::string Serialize() const;
+  static Result<std::unique_ptr<DirectoryPlacement>> Deserialize(
+      const std::string& data);
+
+  size_t directory_size() const { return directory_.size(); }
+  uint32_t top_k() const { return top_k_; }
+
+ private:
+  uint32_t num_shards_;
+  uint32_t top_k_;
+  /// Ordered so serialization and Fingerprint never depend on insertion
+  /// order.
+  std::map<std::string, ShardId> directory_;
+};
+
+/// Workload-hinted placement: hashes the account's locality group instead
+/// of the account itself, so entities the workload says transact together
+/// (TPC-C districts/customers with their home warehouse, SmallBank payment
+/// pairs) co-locate. Without a hint it degenerates to "hash".
+class LocalityPlacement final : public PlacementPolicy {
+ public:
+  LocalityPlacement(uint32_t num_shards, AccountGroupFn hint);
+
+  std::string name() const override { return "locality"; }
+  uint32_t num_shards() const override { return num_shards_; }
+  ShardId ShardOfAccount(const std::string& account) const override;
+  /// The hint is workload code shared by all replicas, so configuration
+  /// (name + shard count) identifies the mapping.
+  uint64_t Fingerprint() const override;
+
+ private:
+  uint32_t num_shards_;
+  AccountGroupFn hint_;
+};
+
+/// Name -> factory registry, mirroring workload::WorkloadRegistry.
+/// `Global()` is preloaded with the four built-ins.
+class PlacementRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PlacementPolicy>(const PlacementOptions&)>;
+
+  /// Registers `factory` under `name`. Overwrites any existing entry.
+  void Register(std::string name, Factory factory);
+
+  /// Instantiates the named policy, or nullptr for unknown names.
+  /// Malformed `options.params` abort (configuration error).
+  std::unique_ptr<PlacementPolicy> Create(
+      const std::string& name, const PlacementOptions& options) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry, preloaded with the built-ins.
+  static PlacementRegistry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace thunderbolt::placement
+
+#endif  // THUNDERBOLT_PLACEMENT_PLACEMENT_H_

@@ -43,10 +43,12 @@ Hash256 Transaction::Digest() const {
   return h.Finalize();
 }
 
-ShardId ShardMapper::ShardOfAccount(const std::string& account) const {
-  Hash256 d = Sha256::Digest(account);
-  return static_cast<ShardId>(d.Prefix64() % num_shards_);
-}
+ShardMapper::ShardMapper(uint32_t num_shards)
+    : policy_(std::make_shared<placement::HashPlacement>(num_shards)) {}
+
+ShardMapper::ShardMapper(
+    std::shared_ptr<const placement::PlacementPolicy> policy)
+    : policy_(std::move(policy)) {}
 
 ShardId ShardMapper::ShardOfKey(const Key& key) const {
   size_t slash = key.find('/');
@@ -63,6 +65,29 @@ std::vector<ShardId> ShardMapper::ShardsOf(const Transaction& tx) const {
   std::sort(shards.begin(), shards.end());
   shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
   return shards;
+}
+
+uint32_t ShardMapper::CountDistinctShards(const Transaction& tx) const {
+  // Account lists are tiny (1-4 entries for every built-in workload): a
+  // linear scan over a stack buffer beats ShardsOf's allocate+sort+unique.
+  constexpr size_t kInline = 16;
+  if (tx.accounts.size() > kInline) {
+    return static_cast<uint32_t>(ShardsOf(tx).size());
+  }
+  ShardId seen[kInline];
+  uint32_t distinct = 0;
+  for (const std::string& a : tx.accounts) {
+    const ShardId s = ShardOfAccount(a);
+    bool found = false;
+    for (uint32_t i = 0; i < distinct; ++i) {
+      if (seen[i] == s) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) seen[distinct++] = s;
+  }
+  return distinct;
 }
 
 std::string CheckingKey(const std::string& account) {

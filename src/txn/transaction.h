@@ -11,11 +11,13 @@
 #define THUNDERBOLT_TXN_TRANSACTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/types.h"
+#include "placement/placement.h"
 #include "storage/kv_store.h"
 
 namespace thunderbolt::txn {
@@ -78,28 +80,50 @@ struct Transaction {
   Hash256 Digest() const;
 };
 
-/// Maps keys/accounts to shards. Shard ids are predefined and known to all
-/// replicas (paper section 3.1). A key belongs to the shard of its account
-/// prefix (the part before '/'), so all keys of one account co-locate.
+/// Maps keys/accounts to shards by delegating to a placement::
+/// PlacementPolicy. Shard ids are predefined and known to all replicas
+/// (paper section 3.1). A key belongs to the shard of its account prefix
+/// (the part before '/'), so all keys of one account co-locate.
 class ShardMapper {
  public:
-  explicit ShardMapper(uint32_t num_shards) : num_shards_(num_shards) {}
+  /// Hash placement over `num_shards` — the historical default, byte-
+  /// identical to the mapping this class always used.
+  explicit ShardMapper(uint32_t num_shards);
 
-  uint32_t num_shards() const { return num_shards_; }
+  /// Delegates to `policy`. The policy is shared, not copied: the cluster
+  /// may mutate it at reconfiguration boundaries (hot-key migration) and
+  /// lookups observe the current mapping.
+  explicit ShardMapper(std::shared_ptr<const placement::PlacementPolicy> policy);
 
-  ShardId ShardOfAccount(const std::string& account) const;
+  uint32_t num_shards() const { return policy_->num_shards(); }
+  const placement::PlacementPolicy& policy() const { return *policy_; }
+
+  ShardId ShardOfAccount(const std::string& account) const {
+    return policy_->ShardOfAccount(account);
+  }
   ShardId ShardOfKey(const Key& key) const;
 
   /// The distinct shards a transaction's account arguments touch, sorted.
   std::vector<ShardId> ShardsOf(const Transaction& tx) const;
 
-  /// True when all account arguments live in a single shard.
+  /// Number of distinct shards the transaction's accounts touch, without
+  /// materializing the sorted vector ShardsOf builds.
+  uint32_t CountDistinctShards(const Transaction& tx) const;
+
+  /// True when all account arguments live in a single shard. Early-exits
+  /// on the first account that maps elsewhere (the hot classification
+  /// path: every pulled transaction goes through this check).
   bool IsSingleShard(const Transaction& tx) const {
-    return ShardsOf(tx).size() <= 1;
+    if (tx.accounts.size() <= 1) return true;
+    const ShardId first = ShardOfAccount(tx.accounts.front());
+    for (size_t i = 1; i < tx.accounts.size(); ++i) {
+      if (ShardOfAccount(tx.accounts[i]) != first) return false;
+    }
+    return true;
   }
 
  private:
-  uint32_t num_shards_;
+  std::shared_ptr<const placement::PlacementPolicy> policy_;
 };
 
 /// Builds the storage keys for an account used across the code base.

@@ -1,6 +1,8 @@
 #include "workload/smallbank_workload.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
 
 #include "contract/smallbank.h"
 
@@ -18,15 +20,20 @@ SmallBankConfig SmallBankConfig::FromOptions(const WorkloadOptions& options) {
 }
 
 SmallBankWorkload::SmallBankWorkload(SmallBankConfig config)
-    : config_(config),
-      mapper_(config.num_shards),
+    : Workload(config.num_shards),
+      config_(config),
       rng_(config.seed),
-      global_zipf_(config.num_accounts, config.theta),
-      shard_accounts_(config.num_shards) {
+      global_zipf_(config.num_accounts, config.theta) {
+  RebuildShardBuckets();
+}
+
+void SmallBankWorkload::RebuildShardBuckets() {
+  shard_accounts_.assign(config_.num_shards, {});
   for (uint64_t i = 0; i < config_.num_accounts; ++i) {
     ShardId s = mapper_.ShardOfAccount(AccountName(i));
     shard_accounts_[s].push_back(i);
   }
+  shard_zipf_.clear();
   shard_zipf_.reserve(config_.num_shards);
   for (uint32_t s = 0; s < config_.num_shards; ++s) {
     // Guard against empty shards (tiny account pools): fall back to size 1.
@@ -37,6 +44,19 @@ SmallBankWorkload::SmallBankWorkload(SmallBankConfig config)
 
 std::string SmallBankWorkload::AccountName(uint64_t i) {
   return "acct" + std::to_string(i);
+}
+
+std::string SmallBankWorkload::PlacementHint(const std::string& account) const {
+  // "acct<N>" pairs with its payment partner "acct<N ^ 1>": both map to
+  // the even-numbered group member. Unknown names group with themselves.
+  if (account.rfind("acct", 0) != 0) return account;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long i = std::strtoull(account.c_str() + 4, &end, 10);
+  if (end == account.c_str() + 4 || *end != '\0' || errno == ERANGE) {
+    return account;
+  }
+  return AccountName(i & ~1ULL);
 }
 
 void SmallBankWorkload::InitStore(storage::MemKVStore* store) const {

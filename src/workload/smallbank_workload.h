@@ -60,7 +60,13 @@ class SmallBankWorkload final : public Workload {
   /// transaction instead spans `shard` and one other shard.
   txn::Transaction NextForShard(ShardId shard) override;
 
-  const txn::ShardMapper& mapper() const override { return mapper_; }
+  /// Payment-pair locality: "acct<2i>" and "acct<2i+1>" share a group, so
+  /// the "locality" placement policy co-locates each pair. Note this is
+  /// structural grouping only: SmallBank samples both payment accounts
+  /// from the live shard buckets, so unlike TPC-C-lite (whose warehouse/
+  /// district/customer accounts place independently) its cross-shard
+  /// fraction is generator-determined and no placement changes it.
+  std::string PlacementHint(const std::string& account) const override;
 
   double CrossShardFraction() const override {
     return config_.num_shards > 1 ? config_.cross_shard_ratio : 0.0;
@@ -74,6 +80,9 @@ class SmallBankWorkload final : public Workload {
   /// creates or destroys money, so the sum must equal the seeded total.
   Status CheckInvariant(const storage::MemKVStore& store) const override;
 
+ protected:
+  void RebuildShardBuckets() override;
+
  private:
   std::string SampleGlobalAccount();
   std::string SampleShardAccount(ShardId shard);
@@ -81,7 +90,6 @@ class SmallBankWorkload final : public Workload {
   txn::Transaction MakeSendPayment(std::string from, std::string to);
 
   SmallBankConfig config_;
-  txn::ShardMapper mapper_;
   Rng rng_;
   ZipfianGenerator global_zipf_;
   /// Accounts bucketed by shard, in global hotness order, so per-shard

@@ -25,15 +25,19 @@ WorkloadOptions ClampTpccOptions(WorkloadOptions options) {
 }  // namespace
 
 TpccLiteWorkload::TpccLiteWorkload(const WorkloadOptions& options)
-    : options_(ClampTpccOptions(options)),
-      mapper_(options_.num_shards),
+    : Workload(ClampTpccOptions(options).num_shards),
+      options_(ClampTpccOptions(options)),
       rng_(options_.seed),
       num_customers_(static_cast<uint64_t>(options_.num_warehouses) *
                      options_.districts_per_warehouse *
                      options_.customers_per_district),
       customer_zipf_(num_customers_, options_.theta),
-      item_zipf_(options_.num_items, options_.theta),
-      shard_districts_(options_.num_shards) {
+      item_zipf_(options_.num_items, options_.theta) {
+  RebuildShardBuckets();
+}
+
+void TpccLiteWorkload::RebuildShardBuckets() {
+  shard_districts_.assign(options_.num_shards, {});
   uint64_t num_districts = static_cast<uint64_t>(options_.num_warehouses) *
                            options_.districts_per_warehouse;
   for (uint64_t i = 0; i < num_districts; ++i) {
@@ -42,6 +46,18 @@ TpccLiteWorkload::TpccLiteWorkload(const WorkloadOptions& options)
     ShardId s = mapper_.ShardOfAccount(DistrictName(w, d));
     shard_districts_[s].push_back(i);
   }
+}
+
+std::string TpccLiteWorkload::PlacementHint(const std::string& account) const {
+  // Warehouse-rooted entities ("w3", "w3.d5", "w3.d5.c12") fold onto their
+  // warehouse prefix; anything else (items) groups with itself.
+  if (account.empty() || account[0] != 'w' || account.size() < 2 ||
+      account[1] < '0' || account[1] > '9') {
+    return account;
+  }
+  size_t dot = account.find('.');
+  if (dot == std::string::npos) return account;
+  return account.substr(0, dot);
 }
 
 std::string TpccLiteWorkload::WarehouseName(uint32_t w) {

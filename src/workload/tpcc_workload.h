@@ -71,7 +71,12 @@ class TpccLiteWorkload final : public Workload {
   /// cross-shard anyway: warehouse, district, customer and item accounts
   /// hash-partition independently.
   txn::Transaction NextForShard(ShardId shard) override;
-  const txn::ShardMapper& mapper() const override { return mapper_; }
+
+  /// Warehouse locality: "w<w>", "w<w>.d<d>" and "w<w>.d<d>.c<c>" all
+  /// group onto "w<w>", so the "locality" placement policy lands a home
+  /// payment's warehouse, district and customer on one shard. Items are
+  /// shared across warehouses and keep their own groups.
+  std::string PlacementHint(const std::string& account) const override;
 
   double CrossShardFraction() const override {
     return options_.num_shards > 1 ? options_.cross_shard_ratio : 0.0;
@@ -91,6 +96,9 @@ class TpccLiteWorkload final : public Workload {
 
   uint64_t num_customers() const { return num_customers_; }
 
+ protected:
+  void RebuildShardBuckets() override;
+
  private:
   /// Customer by global Zipfian rank -> (w, d, c).
   void CustomerAt(uint64_t rank, uint32_t* w, uint32_t* d, uint32_t* c) const;
@@ -102,7 +110,6 @@ class TpccLiteWorkload final : public Workload {
   txn::Transaction MakeNewOrder(uint32_t w, uint32_t d);
 
   WorkloadOptions options_;
-  txn::ShardMapper mapper_;
   Rng rng_;
   uint64_t num_customers_;
   ZipfianGenerator customer_zipf_;

@@ -86,6 +86,21 @@ ShardId Workload::HomeShard(const txn::Transaction& tx) const {
   return mapper().ShardOfAccount(tx.accounts.front());
 }
 
+std::shared_ptr<placement::PlacementPolicy> InstallPlacement(
+    Workload* workload, const std::string& policy_name,
+    const std::string& policy_params, uint32_t num_shards) {
+  placement::PlacementOptions options;
+  options.num_shards = num_shards;
+  options.params = policy_params;
+  options.hint = [workload](const std::string& account) {
+    return workload->PlacementHint(account);
+  };
+  std::shared_ptr<placement::PlacementPolicy> policy =
+      placement::PlacementRegistry::Global().Create(policy_name, options);
+  if (policy != nullptr) workload->SetPlacementPolicy(policy);
+  return policy;
+}
+
 Status ApplyWorkloadParams(const std::string& spec, WorkloadOptions* options) {
   THUNDERBOLT_ASSIGN_OR_RETURN(std::vector<Param> params, SplitParams(spec));
   for (const Param& p : params) {

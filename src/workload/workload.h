@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "placement/placement.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
 
@@ -65,8 +66,16 @@ struct WorkloadOptions {
 };
 
 /// Abstract workload: transaction source + store seeding + invariant.
+///
+/// The account -> shard mapping lives in the base class: every workload
+/// generates against `mapper_`, which delegates to a placement::
+/// PlacementPolicy (hash by default). The cluster installs its configured
+/// policy via SetPlacementPolicy right after construction — and again
+/// after hot-key migrations — at which point the workload rebuilds any
+/// per-shard account buckets it derived from the old mapping.
 class Workload {
  public:
+  explicit Workload(uint32_t num_shards = 1) : mapper_(num_shards) {}
   virtual ~Workload() = default;
 
   /// Registry name ("smallbank", "ycsb", ...).
@@ -88,7 +97,28 @@ class Workload {
                                                        size_t count);
 
   /// The account -> shard mapping this workload generates against.
-  virtual const txn::ShardMapper& mapper() const = 0;
+  const txn::ShardMapper& mapper() const { return mapper_; }
+
+  /// Installs a placement policy: the mapper delegates to it from now on
+  /// and the workload's per-shard buckets are rebuilt against the new
+  /// mapping. The policy is shared with the cluster, which may mutate it
+  /// at reconfiguration boundaries and re-invoke this to refresh buckets.
+  /// Does not touch the RNG stream: with a policy mapping identical to the
+  /// current one (e.g. the default "hash"), generation is byte-identical.
+  void SetPlacementPolicy(
+      std::shared_ptr<const placement::PlacementPolicy> policy) {
+    mapper_ = txn::ShardMapper(std::move(policy));
+    RebuildShardBuckets();
+  }
+
+  /// Optional locality hint for the "locality" placement policy: the
+  /// group of accounts `account` should co-locate with (accounts sharing
+  /// a group land on one shard). Defaults to the account itself — no
+  /// co-location structure. Must be pure (same account, same group) so
+  /// all replicas agree.
+  virtual std::string PlacementHint(const std::string& account) const {
+    return account;
+  }
 
   /// Fraction of NextForShard draws that deliberately span multiple shards
   /// (the configured cross_shard_ratio where honored; 0 when the workload
@@ -107,7 +137,26 @@ class Workload {
   /// SmallBank total-balance conservation, TPC-C-lite YTD consistency).
   /// Returns OK when the invariant holds, Corruption otherwise.
   virtual Status CheckInvariant(const storage::MemKVStore& store) const = 0;
+
+ protected:
+  /// Rebuilds any account -> shard buckets derived from `mapper_`.
+  /// Invoked by SetPlacementPolicy; workloads that precompute per-shard
+  /// account lists override this (and call it from their constructor).
+  virtual void RebuildShardBuckets() {}
+
+  txn::ShardMapper mapper_;
 };
+
+/// Creates the named placement policy configured for `workload` — wiring
+/// Workload::PlacementHint in as the policy's locality hint, so the hint
+/// must not outlive the workload — and installs it via SetPlacementPolicy.
+/// Returns the shared policy (the caller keeps it to drive Rebalance), or
+/// nullptr for an unknown policy name, leaving the workload's mapping
+/// untouched. One helper so the cluster and the bench drivers cannot
+/// drift apart in how they stand placement up.
+std::shared_ptr<placement::PlacementPolicy> InstallPlacement(
+    Workload* workload, const std::string& policy_name,
+    const std::string& policy_params, uint32_t num_shards);
 
 /// Applies "key=value[,key=value...]" overrides from `spec` onto
 /// `options`, so drivers can configure any workload from one string

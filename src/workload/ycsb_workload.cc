@@ -18,19 +18,24 @@ YcsbWorkload::Distribution ParseDistribution(const std::string& name) {
 }  // namespace
 
 YcsbWorkload::YcsbWorkload(const WorkloadOptions& options)
-    : options_(options),
+    : Workload(options.num_shards),
+      options_(options),
       distribution_(ParseDistribution(options.distribution)),
-      mapper_(options.num_shards),
       rng_(options.seed),
-      global_zipf_(options.num_records, options.theta),
-      shard_records_(options.num_shards) {
+      global_zipf_(options.num_records, options.theta) {
   hot_set_size_ = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(options_.num_records) *
                                options_.hotspot_set_fraction));
+  RebuildShardBuckets();
+}
+
+void YcsbWorkload::RebuildShardBuckets() {
+  shard_records_.assign(options_.num_shards, {});
   for (uint64_t i = 0; i < options_.num_records; ++i) {
     ShardId s = mapper_.ShardOfAccount(RecordName(i));
     shard_records_[s].push_back(i);
   }
+  shard_zipf_.clear();
   shard_zipf_.reserve(options_.num_shards);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     uint64_t n = shard_records_[s].empty() ? 1 : shard_records_[s].size();

@@ -49,7 +49,6 @@ class YcsbWorkload final : public Workload {
   /// cross_shard_ratio (and more than one shard) a kv.transfer from a
   /// record of `shard` to a record of another shard instead.
   txn::Transaction NextForShard(ShardId shard) override;
-  const txn::ShardMapper& mapper() const override { return mapper_; }
 
   double CrossShardFraction() const override {
     return options_.num_shards > 1 ? options_.cross_shard_ratio : 0.0;
@@ -61,6 +60,9 @@ class YcsbWorkload final : public Workload {
   /// Assumes the store was seeded by InitStore alone — YCSB owns its whole
   /// keyspace.
   Status CheckInvariant(const storage::MemKVStore& store) const override;
+
+ protected:
+  void RebuildShardBuckets() override;
 
  private:
   /// Hotness rank in [0, num_records) under the configured distribution.
@@ -74,7 +76,6 @@ class YcsbWorkload final : public Workload {
 
   WorkloadOptions options_;
   Distribution distribution_;
-  txn::ShardMapper mapper_;
   Rng rng_;
   ZipfianGenerator global_zipf_;
   uint64_t hot_set_size_;

@@ -5,10 +5,14 @@
 // over an unordered container, wall-clock leakage, uninitialized reads).
 // The check runs for every cluster workload — sharded generation and
 // cross-shard execution must be deterministic for ycsb and tpcc_lite just
-// like for SmallBank.
+// like for SmallBank — and for both the default "hash" placement (the
+// historical configuration, byte-for-byte) and the "directory" placement
+// under periodic reconfiguration, where hot-key migration mutates the
+// account mapping mid-run and must do so identically in every replay.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -22,12 +26,22 @@ struct RunOutput {
   std::string commit_order;   // (round, time) per commit, serialized.
   std::string histogram;      // Throughput / latency report lines.
   uint64_t state_fingerprint; // Canonical store content digest.
+  uint64_t placement_fingerprint;  // Policy mapping digest.
 };
 
-RunOutput RunClusterOnce(const std::string& workload_name, uint64_t seed) {
+/// (workload name, placement policy name).
+using DeterminismParam = std::pair<const char*, const char*>;
+
+RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
   ThunderboltConfig cfg;
   cfg.n = 4;
   cfg.batch_size = 100;
+  cfg.placement = param.second;
+  if (cfg.placement == "directory") {
+    // Exercise the migration path: periodic reconfigurations give the
+    // directory policy boundaries to rebalance at.
+    cfg.reconfig_period_k_prime = 8;
+  }
   workload::WorkloadOptions wc =
       testutil::WorkloadTestOptions(/*num_records=*/500, seed);
   wc.cross_shard_ratio = 0.1;
@@ -36,7 +50,7 @@ RunOutput RunClusterOnce(const std::string& workload_name, uint64_t seed) {
   wc.customers_per_district = 20;
   wc.num_items = 50;
 
-  Cluster cluster(cfg, workload_name, wc);
+  Cluster cluster(cfg, param.first, wc);
   ClusterResult r = cluster.Run(Seconds(2));
 
   RunOutput out;
@@ -49,16 +63,19 @@ RunOutput RunClusterOnce(const std::string& workload_name, uint64_t seed) {
   char report[256];
   std::snprintf(report, sizeof(report),
                 "committed=%" PRIu64 "+%" PRIu64 " tput=%.6f avg=%.9f "
-                "p50=%.9f p99=%.9f aborts=%" PRIu64 "\n",
+                "p50=%.9f p99=%.9f aborts=%" PRIu64 " migrations=%" PRIu64
+                "\n",
                 r.committed_single, r.committed_cross, r.throughput_tps,
                 r.avg_latency_s, r.p50_latency_s, r.p99_latency_s,
-                r.preplay_aborts);
+                r.preplay_aborts, r.migrations);
   out.histogram = report;
   out.state_fingerprint = cluster.canonical_state().ContentFingerprint();
+  out.placement_fingerprint = cluster.placement().Fingerprint();
   return out;
 }
 
-class ClusterDeterminismTest : public ::testing::TestWithParam<const char*> {};
+class ClusterDeterminismTest
+    : public ::testing::TestWithParam<DeterminismParam> {};
 
 TEST_P(ClusterDeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
   RunOutput a = RunClusterOnce(GetParam(), /*seed=*/1234);
@@ -67,6 +84,7 @@ TEST_P(ClusterDeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
   EXPECT_EQ(a.commit_order, b.commit_order);
   EXPECT_EQ(a.histogram, b.histogram);
   EXPECT_EQ(a.state_fingerprint, b.state_fingerprint);
+  EXPECT_EQ(a.placement_fingerprint, b.placement_fingerprint);
 }
 
 TEST_P(ClusterDeterminismTest, DifferentSeedsDiverge) {
@@ -77,11 +95,17 @@ TEST_P(ClusterDeterminismTest, DifferentSeedsDiverge) {
   EXPECT_NE(a.commit_order, b.commit_order);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllWorkloads, ClusterDeterminismTest,
-                         ::testing::Values("smallbank", "ycsb", "tpcc_lite"),
-                         [](const auto& info) {
-                           return std::string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ClusterDeterminismTest,
+    ::testing::Values(DeterminismParam{"smallbank", "hash"},
+                      DeterminismParam{"ycsb", "hash"},
+                      DeterminismParam{"tpcc_lite", "hash"},
+                      DeterminismParam{"smallbank", "directory"},
+                      DeterminismParam{"ycsb", "directory"},
+                      DeterminismParam{"tpcc_lite", "directory"}),
+    [](const auto& info) {
+      return std::string(info.param.first) + "_" + info.param.second;
+    });
 
 }  // namespace
 }  // namespace thunderbolt::core

@@ -1,0 +1,245 @@
+// Property battery over every policy registered in
+// placement::PlacementRegistry::Global(): placement must be total (every
+// account maps to a shard below num_shards), stable (same account, same
+// answer across calls), and replica-deterministic (two policies built from
+// the same configuration agree on every account and report equal
+// fingerprints). The directory policy additionally round-trips through
+// Serialize/Deserialize, before and after a hot-key rebalance.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "placement/placement.h"
+#include "testutil/testutil.h"
+
+namespace thunderbolt::placement {
+namespace {
+
+/// Account names in every style the built-in workloads emit, plus some
+/// hostile extras (empty-ish, punctuated, long).
+std::vector<std::string> SampleAccounts(Rng& rng, size_t count) {
+  std::vector<std::string> accounts;
+  accounts.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.NextBounded(6)) {
+      case 0:
+        accounts.push_back("acct" + std::to_string(rng.NextBounded(100000)));
+        break;
+      case 1:
+        accounts.push_back("user" + std::to_string(rng.NextBounded(100000)));
+        break;
+      case 2:
+        accounts.push_back("w" + std::to_string(rng.NextBounded(16)) + ".d" +
+                           std::to_string(rng.NextBounded(10)) + ".c" +
+                           std::to_string(rng.NextBounded(100)));
+        break;
+      case 3:
+        accounts.push_back("item" + std::to_string(rng.NextBounded(1000)));
+        break;
+      case 4:
+        accounts.push_back("w" + std::to_string(rng.NextBounded(16)));
+        break;
+      default:
+        accounts.push_back(std::string(1 + rng.NextBounded(40), 'z') +
+                           std::to_string(rng.NextBounded(1000)));
+        break;
+    }
+  }
+  return accounts;
+}
+
+/// A TPC-C-style hint so the locality policy exercises real group folding.
+std::string WarehouseHint(const std::string& account) {
+  if (account.empty() || account[0] != 'w') return account;
+  size_t dot = account.find('.');
+  if (dot == std::string::npos) return account;
+  return account.substr(0, dot);
+}
+
+PlacementOptions OptionsFor(uint32_t num_shards) {
+  PlacementOptions options;
+  options.num_shards = num_shards;
+  options.hint = WarehouseHint;
+  return options;
+}
+
+class PlacementPolicyPropertyTest : public testutil::SeededTest {};
+
+TEST_F(PlacementPolicyPropertyTest, RegistryHasAllBuiltins) {
+  auto& registry = PlacementRegistry::Global();
+  for (const char* name : {"hash", "range", "directory", "locality"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_EQ(registry.Names().size(), 4u);
+  EXPECT_EQ(registry.Create("no-such-policy", OptionsFor(4)), nullptr);
+}
+
+TEST_F(PlacementPolicyPropertyTest, TotalStableAndReplicaDeterministic) {
+  std::vector<std::string> accounts = SampleAccounts(rng_, 5000);
+  for (const std::string& name : PlacementRegistry::Global().Names()) {
+    for (uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+      // Two "replicas" built from identical configuration.
+      auto a = PlacementRegistry::Global().Create(name, OptionsFor(num_shards));
+      auto b = PlacementRegistry::Global().Create(name, OptionsFor(num_shards));
+      ASSERT_NE(a, nullptr) << name;
+      ASSERT_NE(b, nullptr) << name;
+      EXPECT_EQ(a->name(), name);
+      EXPECT_EQ(a->num_shards(), num_shards) << name;
+      EXPECT_EQ(a->Fingerprint(), b->Fingerprint())
+          << name << " shards=" << num_shards;
+      for (const std::string& account : accounts) {
+        ShardId s = a->ShardOfAccount(account);
+        EXPECT_LT(s, num_shards) << name << " account=" << account;
+        // Stable across calls, and equal across replicas.
+        EXPECT_EQ(a->ShardOfAccount(account), s) << name;
+        EXPECT_EQ(b->ShardOfAccount(account), s)
+            << name << " account=" << account;
+      }
+    }
+  }
+}
+
+TEST_F(PlacementPolicyPropertyTest, FingerprintSeparatesConfigurations) {
+  for (const std::string& name : PlacementRegistry::Global().Names()) {
+    auto two = PlacementRegistry::Global().Create(name, OptionsFor(2));
+    auto four = PlacementRegistry::Global().Create(name, OptionsFor(4));
+    EXPECT_NE(two->Fingerprint(), four->Fingerprint()) << name;
+  }
+}
+
+TEST_F(PlacementPolicyPropertyTest, HashPolicyMatchesHistoricalMapping) {
+  // The "hash" policy must stay byte-identical to the original
+  // Sha256(account) % num_shards so determinism baselines carry over.
+  HashPlacement policy(16);
+  for (int i = 0; i < 1000; ++i) {
+    std::string account = "acct" + std::to_string(i);
+    EXPECT_EQ(policy.ShardOfAccount(account),
+              static_cast<ShardId>(Sha256::Digest(account).Prefix64() % 16));
+  }
+}
+
+TEST_F(PlacementPolicyPropertyTest, RangeRespectsConfiguredSplits) {
+  PlacementOptions options;
+  options.num_shards = 3;
+  options.params = "splits=g;p";
+  auto policy = PlacementRegistry::Global().Create("range", options);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->ShardOfAccount("acct1"), 0u);
+  EXPECT_EQ(policy->ShardOfAccount("fff"), 0u);
+  EXPECT_EQ(policy->ShardOfAccount("g"), 1u);
+  EXPECT_EQ(policy->ShardOfAccount("item9"), 1u);
+  EXPECT_EQ(policy->ShardOfAccount("p"), 2u);
+  EXPECT_EQ(policy->ShardOfAccount("w3.d5"), 2u);
+}
+
+TEST_F(PlacementPolicyPropertyTest, LocalityCoLocatesHintGroups) {
+  LocalityPlacement policy(8, WarehouseHint);
+  for (uint32_t w = 0; w < 16; ++w) {
+    std::string warehouse = "w" + std::to_string(w);
+    ShardId home = policy.ShardOfAccount(warehouse);
+    for (uint32_t d = 0; d < 4; ++d) {
+      std::string district = warehouse + ".d" + std::to_string(d);
+      EXPECT_EQ(policy.ShardOfAccount(district), home);
+      EXPECT_EQ(policy.ShardOfAccount(district + ".c7"), home);
+    }
+  }
+  // Without a hint, locality degenerates to hash.
+  LocalityPlacement plain(8, nullptr);
+  HashPlacement hash(8);
+  for (int i = 0; i < 200; ++i) {
+    std::string account = "user" + std::to_string(i);
+    EXPECT_EQ(plain.ShardOfAccount(account), hash.ShardOfAccount(account));
+  }
+}
+
+TEST_F(PlacementPolicyPropertyTest, DirectoryRoundTripsSerialization) {
+  DirectoryPlacement policy(8, /*top_k=*/4);
+  std::vector<std::string> accounts = SampleAccounts(rng_, 200);
+  for (size_t i = 0; i < accounts.size(); ++i) {
+    policy.Assign(accounts[i], static_cast<ShardId>(i % 8));
+  }
+
+  auto restored = DirectoryPlacement::Deserialize(policy.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Fingerprint(), policy.Fingerprint());
+  EXPECT_EQ((*restored)->directory_size(), policy.directory_size());
+  EXPECT_EQ((*restored)->top_k(), policy.top_k());
+  for (const std::string& account : SampleAccounts(rng_, 2000)) {
+    EXPECT_EQ((*restored)->ShardOfAccount(account),
+              policy.ShardOfAccount(account))
+        << account;
+  }
+
+  EXPECT_FALSE(DirectoryPlacement::Deserialize("").ok());
+  EXPECT_FALSE(DirectoryPlacement::Deserialize("bogus header\n").ok());
+  EXPECT_FALSE(
+      DirectoryPlacement::Deserialize("directory 4 2\nacct1:9\n").ok());
+}
+
+TEST_F(PlacementPolicyPropertyTest, DirectoryRebalanceIsDeterministic) {
+  // Identical access stats applied to identically configured replicas must
+  // produce identical migrations and identical post-migration mappings.
+  AccessTracker stats;
+  std::vector<std::string> accounts = SampleAccounts(rng_, 64);
+  for (int round = 0; round < 500; ++round) {
+    const std::string& account = accounts[rng_.NextBounded(accounts.size())];
+    stats.RecordRemoteAccess(account,
+                             static_cast<ShardId>(rng_.NextBounded(4)));
+  }
+  DirectoryPlacement a(4, /*top_k=*/6);
+  DirectoryPlacement b(4, /*top_k=*/6);
+  std::vector<MigrationEvent> ea = a.Rebalance(stats);
+  std::vector<MigrationEvent> eb = b.Rebalance(stats);
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_GT(ea.size(), 0u);
+  EXPECT_LE(ea.size(), 6u);
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].account, eb[i].account);
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_NE(ea[i].from, ea[i].to);
+    EXPECT_GT(ea[i].remote_accesses, 0u);
+    // The account now lives where the migration said it went.
+    EXPECT_EQ(a.ShardOfAccount(ea[i].account), ea[i].to);
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // Migration state survives the serialization round-trip too.
+  auto restored = DirectoryPlacement::Deserialize(a.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->Fingerprint(), a.Fingerprint());
+}
+
+TEST_F(PlacementPolicyPropertyTest, RebalanceMovesHotKeysTowardAccessors) {
+  DirectoryPlacement policy(4, /*top_k=*/2);
+  AccessTracker stats;
+  // "hot" is hammered by shard 2; "warm" by shard 1; "cool" barely at all.
+  const ShardId hot_home = policy.ShardOfAccount("hot");
+  for (int i = 0; i < 100; ++i) stats.RecordRemoteAccess("hot", 2);
+  for (int i = 0; i < 50; ++i) stats.RecordRemoteAccess("warm", 1);
+  stats.RecordRemoteAccess("cool", 3);
+  EXPECT_EQ(stats.total_remote_accesses(), 151u);
+
+  std::vector<MigrationEvent> events = policy.Rebalance(stats);
+  // top_k=2 considers only the two hottest accounts; "cool" is never
+  // touched even though it too was remote-accessed.
+  ASSERT_LE(events.size(), 2u);
+  bool hot_moved = false;
+  for (const MigrationEvent& e : events) {
+    EXPECT_NE(e.account, "cool");
+    if (e.account == "hot") {
+      hot_moved = true;
+      EXPECT_EQ(e.from, hot_home);
+      EXPECT_EQ(e.to, 2u);
+      EXPECT_EQ(e.remote_accesses, 100u);
+    }
+  }
+  // "hot" migrates unless it already lived on shard 2.
+  EXPECT_EQ(hot_moved, hot_home != 2u);
+  EXPECT_EQ(policy.ShardOfAccount("hot"), 2u);
+}
+
+}  // namespace
+}  // namespace thunderbolt::placement

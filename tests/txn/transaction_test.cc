@@ -43,6 +43,48 @@ TEST(ShardMapperTest, SingleVsCrossShard) {
   EXPECT_EQ(mapper.ShardsOf(MakeTx({base, diff})).size(), 2u);
 }
 
+TEST(ShardMapperTest, CountDistinctShardsAgreesWithShardsOf) {
+  ShardMapper mapper(8);
+  // Transactions of every account-list shape the workloads emit, plus a
+  // wide one past the inline fast-path buffer.
+  std::vector<std::vector<std::string>> shapes = {
+      {},
+      {"acct1"},
+      {"acct1", "acct1"},
+      {"acct1", "acct2"},
+      {"w1", "w1.d2", "w1.d2.c3"},
+  };
+  std::vector<std::string> wide;
+  for (int i = 0; i < 20; ++i) wide.push_back("acct" + std::to_string(i));
+  shapes.push_back(wide);
+  for (const auto& accounts : shapes) {
+    Transaction tx = MakeTx(accounts);
+    EXPECT_EQ(mapper.CountDistinctShards(tx), mapper.ShardsOf(tx).size());
+    EXPECT_EQ(mapper.IsSingleShard(tx),
+              mapper.CountDistinctShards(tx) <= 1);
+  }
+}
+
+TEST(ShardMapperTest, DelegatesToInstalledPolicy) {
+  // A directory policy pinning two accounts to opposite shards must drive
+  // the mapper's classification, overriding what the hash fallback says.
+  auto policy = std::make_shared<placement::DirectoryPlacement>(4);
+  policy->Assign("acctA", 0);
+  policy->Assign("acctB", 3);
+  ShardMapper mapper{
+      std::static_pointer_cast<const placement::PlacementPolicy>(policy)};
+  EXPECT_EQ(mapper.num_shards(), 4u);
+  EXPECT_EQ(mapper.ShardOfAccount("acctA"), 0u);
+  EXPECT_EQ(mapper.ShardOfKey("acctB/checking"), 3u);
+  EXPECT_FALSE(mapper.IsSingleShard(MakeTx({"acctA", "acctB"})));
+  EXPECT_EQ(mapper.ShardsOf(MakeTx({"acctA", "acctB"})),
+            (std::vector<ShardId>{0, 3}));
+  // Mutating the shared policy is visible through the mapper (the hot-key
+  // migration contract).
+  policy->Assign("acctB", 0);
+  EXPECT_TRUE(mapper.IsSingleShard(MakeTx({"acctA", "acctB"})));
+}
+
 TEST(ShardMapperTest, ShardsAreReasonablyBalanced) {
   ShardMapper mapper(4);
   std::vector<int> counts(4, 0);
