@@ -19,13 +19,15 @@ int main(int argc, char** argv) {
       argc, argv, &options, /*seed=*/312, {"cross_shard_ratio"});
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Ablation", "P4 immediate conversion vs 5.4 Skip-block deferral",
       "conversion mode sustains throughput via the OE path; skip mode "
       "preserves a higher preplayed share but emits Skip blocks and "
       "defers conflicting work");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
   bench::Table table({"mode", "cross%", "tput(tps)", "latency(s)",
                       "single", "cross", "converted", "skips"});
   for (bool use_skip : {false, true}) {
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
       cfg.use_skip_blocks = use_skip;
       cfg.seed = 311;
       placement.ApplyTo(&cfg);
+      store.ApplyTo(&cfg);
       options.cross_shard_ratio = pct;
       core::Cluster cluster(cfg, workload_name, options);
       core::ClusterResult r = cluster.Run(duration);

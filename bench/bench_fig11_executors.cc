@@ -33,15 +33,16 @@ struct Measurement {
 };
 
 Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
-                      double read_ratio, uint32_t runs) {
+                      double read_ratio, uint32_t runs,
+                      const bench::StoreSelection& store_sel) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = 0.85;
   wc.read_ratio = read_ratio;
   wc.seed = 1234;
   workload::SmallBankWorkload w(wc);
-  storage::MemKVStore store;
-  w.InitStore(&store);
+  std::unique_ptr<storage::KVStore> store = store_sel.Create();
+  w.InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
 
   ce::SimExecutorPool pool(executors, ce::ExecutionCostModel{});
@@ -53,15 +54,16 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
     std::unique_ptr<ce::BatchEngine> engine;
     switch (kind) {
       case 0:
-        engine = std::make_unique<ce::ConcurrencyController>(&store,
+        engine = std::make_unique<ce::ConcurrencyController>(store.get(),
                                                              batch_size);
         break;
       case 1:
-        engine = std::make_unique<baselines::OccEngine>(&store, batch_size);
+        engine =
+            std::make_unique<baselines::OccEngine>(store.get(), batch_size);
         break;
       default:
-        engine =
-            std::make_unique<baselines::TplNoWaitEngine>(&store, batch_size);
+        engine = std::make_unique<baselines::TplNoWaitEngine>(store.get(),
+                                                              batch_size);
         break;
     }
     auto r = pool.Run(*engine, *registry, batch);
@@ -69,7 +71,7 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
       std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
       continue;
     }
-    store.Write(r->final_writes);
+    store->Write(r->final_writes);
     total_time += r->duration;
     total_txns += batch_size;
     total_aborts += r->total_aborts;
@@ -83,7 +85,8 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
   return m;
 }
 
-void RunWorkload(const char* title, double read_ratio, uint32_t runs) {
+void RunWorkload(const char* title, double read_ratio, uint32_t runs,
+                 const bench::StoreSelection& store_sel) {
   std::printf("\n--- %s ---\n", title);
   bench::Table table({"engine", "batch", "executors", "tput(tps)",
                       "latency(s)", "re-exec/txn"},
@@ -93,8 +96,8 @@ void RunWorkload(const char* title, double read_ratio, uint32_t runs) {
   for (const EngineSpec& engine : engines) {
     for (uint32_t batch : {300u, 500u}) {
       for (uint32_t executors : {1u, 4u, 8u, 12u, 16u}) {
-        Measurement m =
-            RunConfig(engine.kind, executors, batch, read_ratio, runs);
+        Measurement m = RunConfig(engine.kind, executors, batch,
+                                  read_ratio, runs, store_sel);
         table.Row({engine.name, bench::FmtInt(batch),
                    bench::FmtInt(executors), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4), bench::Fmt(m.re_executions, 3)});
@@ -109,12 +112,13 @@ void RunWorkload(const char* title, double read_ratio, uint32_t runs) {
 int main(int argc, char** argv) {
   using namespace thunderbolt;
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 11", "CE vs OCC vs 2PL-No-Wait across executor counts",
       "throughput rises then plateaus (~12 executors for Thunderbolt/OCC); "
       "2PL-No-Wait degrades beyond 8 executors; Thunderbolt has the fewest "
       "re-executions (~50% of OCC, ~10% of 2PL at b500)");
-  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs);
-  RunWorkload("(b) update-only, Pr = 0", 0.0, runs);
+  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs, store);
+  RunWorkload("(b) update-only, Pr = 0", 0.0, runs, store);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig11");
 }

@@ -24,15 +24,16 @@ struct Measurement {
 };
 
 Measurement RunConfig(int kind, uint32_t batch_size, double theta,
-                      double read_ratio, uint32_t runs) {
+                      double read_ratio, uint32_t runs,
+                      const bench::StoreSelection& store_sel) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = theta;
   wc.read_ratio = read_ratio;
   wc.seed = 4321;
   workload::SmallBankWorkload w(wc);
-  storage::MemKVStore store;
-  w.InitStore(&store);
+  std::unique_ptr<storage::KVStore> store = store_sel.Create();
+  w.InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
   ce::SimExecutorPool pool(12, ce::ExecutionCostModel{});
 
@@ -44,20 +45,21 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
     std::unique_ptr<ce::BatchEngine> engine;
     switch (kind) {
       case 0:
-        engine = std::make_unique<ce::ConcurrencyController>(&store,
+        engine = std::make_unique<ce::ConcurrencyController>(store.get(),
                                                              batch_size);
         break;
       case 1:
-        engine = std::make_unique<baselines::OccEngine>(&store, batch_size);
+        engine =
+            std::make_unique<baselines::OccEngine>(store.get(), batch_size);
         break;
       default:
-        engine =
-            std::make_unique<baselines::TplNoWaitEngine>(&store, batch_size);
+        engine = std::make_unique<baselines::TplNoWaitEngine>(store.get(),
+                                                              batch_size);
         break;
     }
     auto r = pool.Run(*engine, *registry, batch);
     if (!r.ok()) continue;
-    store.Write(r->final_writes);
+    store->Write(r->final_writes);
     total_time += r->duration;
     total_txns += batch_size;
     latency_sum += r->commit_latency_us.Mean();
@@ -70,7 +72,7 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
 
 const char* kEngineNames[] = {"Thunderbolt", "OCC", "2PL-No-Wait"};
 
-void ThetaSweep(uint32_t runs) {
+void ThetaSweep(uint32_t runs, const bench::StoreSelection& store) {
   std::printf("\n--- (a,b) theta sweep, Pr = 0.5 ---\n");
   bench::Table table(
       {"engine", "batch", "theta", "tput(tps)", "latency(s)"},
@@ -78,7 +80,7 @@ void ThetaSweep(uint32_t runs) {
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double theta : {0.75, 0.8, 0.85, 0.9}) {
-        Measurement m = RunConfig(kind, batch, theta, 0.5, runs);
+        Measurement m = RunConfig(kind, batch, theta, 0.5, runs, store);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(theta, 2), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -87,14 +89,14 @@ void ThetaSweep(uint32_t runs) {
   }
 }
 
-void ReadRatioSweep(uint32_t runs) {
+void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store) {
   std::printf("\n--- (c,d) Pr sweep, theta = 0.85 ---\n");
   bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"},
                      "read_ratio_sweep");
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double pr : {1.0, 0.8, 0.5, 0.1, 0.0}) {
-        Measurement m = RunConfig(kind, batch, 0.85, pr, runs);
+        Measurement m = RunConfig(kind, batch, 0.85, pr, runs, store);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(pr, 1), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -109,13 +111,14 @@ void ReadRatioSweep(uint32_t runs) {
 int main(int argc, char** argv) {
   using namespace thunderbolt;
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 12", "CE under varying contention (theta) and read ratio (Pr)",
       "comparable Thunderbolt/OCC at theta=0.75; OCC declines sharply by "
       "theta=0.9 while Thunderbolt stays ahead; at Pr=1 all engines "
       "converge (OCC slightly best); lower Pr hurts 2PL most and "
       "Thunderbolt beats OCC on write-heavy mixes");
-  ThetaSweep(runs);
-  ReadRatioSweep(runs);
+  ThetaSweep(runs, store);
+  ReadRatioSweep(runs, store);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig12");
 }

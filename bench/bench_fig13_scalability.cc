@@ -21,7 +21,8 @@ struct RunOut {
 RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
               const std::string& workload_name,
               const workload::WorkloadOptions& options,
-              const bench::PlacementSelection& placement, SimTime warmup,
+              const bench::PlacementSelection& placement,
+              const bench::StoreSelection& store, SimTime warmup,
               SimTime duration) {
   core::ThunderboltConfig cfg;
   cfg.n = n;
@@ -32,6 +33,7 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
   cfg.latency = wan ? net::LatencyModel::Wan() : net::LatencyModel::Lan();
   cfg.seed = 77;
   placement.ApplyTo(&cfg);
+  store.ApplyTo(&cfg);
 
   core::Cluster cluster(cfg, workload_name, options);
   cluster.Run(warmup);  // Excluded: pipeline fill / first commits.
@@ -50,14 +52,16 @@ int main(int argc, char** argv) {
       bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/78);
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 13", "throughput & latency vs replica count (LAN and WAN)",
       "Thunderbolt scales with replicas and beats Tusk by ~50x at 64 "
       "replicas; Thunderbolt-OCC tracks Thunderbolt but lags at scale; "
       "Tusk throughput stays flat (~11K tps) with latency growing to "
       "~100 s; WAN shows the same ordering with higher latencies");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
 
   const core::ExecutionMode modes[] = {core::ExecutionMode::kThunderbolt,
                                        core::ExecutionMode::kThunderboltOcc,
@@ -78,7 +82,7 @@ int main(int argc, char** argv) {
         SimTime duration = quick ? Seconds(n >= 64 ? 2 : 3)
                                  : Seconds(n >= 32 ? 3 : 5);
         RunOut out = RunOne(modes[mi], n, wan, workload_name, options,
-                            placement, warmup, duration);
+                            placement, store, warmup, duration);
         table.Row({mode_names[mi], bench::FmtInt(n), bench::Fmt(out.tps, 0),
                    bench::Fmt(out.latency_s, 2)});
         if (!wan && n == 64) {

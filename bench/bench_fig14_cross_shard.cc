@@ -15,7 +15,8 @@ namespace {
 void RunSweep(core::ExecutionMode mode, const char* name,
               const std::string& workload_name,
               workload::WorkloadOptions options,
-              const bench::PlacementSelection& placement, SimTime duration,
+              const bench::PlacementSelection& placement,
+              const bench::StoreSelection& store, SimTime duration,
               bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
@@ -24,6 +25,7 @@ void RunSweep(core::ExecutionMode mode, const char* name,
     cfg.batch_size = 500;
     cfg.seed = 90;
     placement.ApplyTo(&cfg);
+    store.ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
       argc, argv, &options, /*seed=*/91, {"cross_shard_ratio"});
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 14", "cross-shard transaction ratio sweep on 16 replicas",
       "both Thunderbolt variants decline as P grows; at P=8% Thunderbolt "
@@ -60,15 +63,16 @@ int main(int argc, char** argv) {
       "Tusk (~19K vs ~10K tps in the paper) thanks to SID-parallel OE "
       "execution; Thunderbolt latency roughly half of Thunderbolt-OCC "
       "under high contention");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
   bench::Table table({"system", "cross%", "tput(tps)", "latency(s)",
                       "single", "cross", "crossfrac", "converted", "skips"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", workload_name,
-           options, placement, duration, table);
+           options, placement, store, duration, table);
   RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC",
-           workload_name, options, placement, duration, table);
+           workload_name, options, placement, store, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", workload_name, options,
-           placement, duration, table);
+           placement, store, duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig14");
 }

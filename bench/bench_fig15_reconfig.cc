@@ -16,13 +16,15 @@ int main(int argc, char** argv) {
       bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/56);
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 15", "reconfiguration period K' sweep on 8 replicas",
       "throughput lower at K'=10 (frequent DAG transitions discard the "
       "two-round uncommitted tail) and stabilizes as K' grows past ~1000; "
       "average latency decreases slightly with larger K'");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
   bench::Table table({"K'", "tput(tps)", "latency(s)", "reconfigs",
                       "shift-blocks", "migrations"});
   std::vector<std::vector<std::string>> migration_rows;
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
     cfg.reconfig_period_k_prime = k_prime;
     cfg.seed = 55;
     placement.ApplyTo(&cfg);
+    store.ApplyTo(&cfg);
     core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
     table.Row({bench::FmtInt(k_prime), bench::Fmt(r.throughput_tps, 0),

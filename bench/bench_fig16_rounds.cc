@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
       bench::ClusterWorkloadFromFlags(argc, argv, &options, /*seed=*/66);
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 16", "per-100-round commit runtime across reconfigurations",
       "runtime per round stays in a tight band (paper: 0.07-0.1 s) with no "
       "stall at reconfiguration boundaries (K'=300)");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
 
   core::ThunderboltConfig cfg;
   cfg.n = 8;
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   cfg.reconfig_period_k_prime = 300;
   cfg.seed = 65;
   placement.ApplyTo(&cfg);
+  store.ApplyTo(&cfg);
   core::Cluster cluster(cfg, workload_name, options);
   core::ClusterResult r = cluster.Run(duration);
 

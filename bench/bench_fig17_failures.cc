@@ -11,7 +11,8 @@ namespace {
 void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
               const std::string& workload_name,
               workload::WorkloadOptions options,
-              const bench::PlacementSelection& placement, SimTime duration,
+              const bench::PlacementSelection& placement,
+              const bench::StoreSelection& store, SimTime duration,
               bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
@@ -20,6 +21,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
     cfg.batch_size = 500;
     cfg.seed = 101;
     placement.ApplyTo(&cfg);
+    store.ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     // Crash the highest-numbered replicas shortly after startup (the
@@ -47,23 +49,25 @@ int main(int argc, char** argv) {
       argc, argv, &options, /*seed=*/102, {"cross_shard_ratio"});
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
+  const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   bench::Banner(
       "Figure 17", "replica failures (f = 1, 2) on 16 replicas",
       "Thunderbolt keeps committing with crashed replicas: throughput "
       "drops roughly in proportion to lost shards (paper: 78K/66K tps at "
       "P=0 for f=1/f=2 vs 100K failure-free; 17K/15K at P=100%) while "
       "latency stays stable thanks to DAG leader rotation");
-  std::printf("workload: %s  placement: %s\n", workload_name.c_str(),
-              placement.policy.c_str());
+  std::printf("workload: %s  placement: %s  store: %s\n",
+              workload_name.c_str(), placement.policy.c_str(),
+              store.name.c_str());
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
-           workload_name, options, placement, duration, table);
+           workload_name, options, placement, store, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
-           workload_name, options, placement, duration, table);
+           workload_name, options, placement, store, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
-           workload_name, options, placement, duration, table);
+           workload_name, options, placement, store, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
-           placement, duration, table);
+           placement, store, duration, table);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig17");
 }

@@ -68,6 +68,52 @@ void BM_StoreClone(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreClone)->Arg(1000)->Arg(20000);
 
+void RegistryStoreBench(benchmark::State& state, const char* backend,
+                        bool fork) {
+  // Snapshot()/Fork() cost per backend at |state.range(0)| live keys: the
+  // copying backends ("mem", "sorted") pay O(n); the persistent "cow"
+  // tree retains its root in O(1) — the ISSUE-5 acceptance bar is cow
+  // >= 10x cheaper than mem at >= 10k keys.
+  std::unique_ptr<storage::KVStore> store =
+      storage::StoreRegistry::Global().Create(backend);
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  store->Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    store->Put("key" + std::to_string(i), static_cast<storage::Value>(i));
+  }
+  for (auto _ : state) {
+    if (fork) {
+      std::unique_ptr<storage::KVStore> copy = store->Fork();
+      benchmark::DoNotOptimize(copy->size());
+    } else {
+      std::shared_ptr<const storage::StoreSnapshot> snap = store->Snapshot();
+      benchmark::DoNotOptimize(snap->size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_StoreSnapshot_Mem(benchmark::State& state) {
+  RegistryStoreBench(state, "mem", /*fork=*/false);
+}
+BENCHMARK(BM_StoreSnapshot_Mem)->Arg(10000)->Arg(100000);
+
+void BM_StoreSnapshot_Cow(benchmark::State& state) {
+  RegistryStoreBench(state, "cow", /*fork=*/false);
+}
+BENCHMARK(BM_StoreSnapshot_Cow)->Arg(10000)->Arg(100000);
+
+void BM_StoreFork_Mem(benchmark::State& state) {
+  RegistryStoreBench(state, "mem", /*fork=*/true);
+}
+BENCHMARK(BM_StoreFork_Mem)->Arg(10000)->Arg(100000);
+
+void BM_StoreFork_Cow(benchmark::State& state) {
+  RegistryStoreBench(state, "cow", /*fork=*/true);
+}
+BENCHMARK(BM_StoreFork_Cow)->Arg(10000)->Arg(100000);
+
 void BM_StoreWriteBatch(benchmark::State& state) {
   // Batch apply over a half-fresh/half-live key mix (the post-commit write
   // path): try_emplace keeps it to one lookup per entry. The store is
@@ -114,6 +160,26 @@ void BM_ShardsOf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardsOf)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ShardOfCached(benchmark::State& state) {
+  // Steady-state account -> shard resolution through the per-mapper memo:
+  // after the first pass every lookup is one hash-map probe instead of a
+  // Sha256 digest (classification resolves each account twice per txn —
+  // policy + workload buckets — so the memo halves the crypto work even
+  // before reuse across batches).
+  txn::ShardMapper mapper(16);
+  std::vector<std::string> accounts;
+  for (int i = 0; i < 512; ++i) {
+    accounts.push_back("acct" + std::to_string(i));
+  }
+  for (const std::string& a : accounts) mapper.ShardOfAccount(a);  // Warm.
+  size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.ShardOfAccount(accounts[next]));
+    next = (next + 1) & 511;
+  }
+}
+BENCHMARK(BM_ShardOfCached);
 
 void BM_IsSingleShard(benchmark::State& state) {
   // The hot classification path (every pulled transaction): early-exits on

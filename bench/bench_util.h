@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "placement/placement.h"
+#include "storage/kv_store.h"
 #include "workload/workload.h"
 
 namespace thunderbolt::bench {
@@ -291,6 +293,43 @@ inline PlacementSelection PlacementFromFlags(int argc, char** argv) {
     selection.policy = name;
   }
   selection.params = FlagValue(argc, argv, "placement-params");
+  return selection;
+}
+
+/// The storage backend a bench binary was asked to run with.
+struct StoreSelection {
+  std::string name = "mem";
+
+  void ApplyTo(core::ThunderboltConfig* config) const {
+    config->store = name;
+  }
+
+  /// Instantiates the backend from storage::StoreRegistry (never null:
+  /// the name was validated by StoreFromFlags).
+  std::unique_ptr<storage::KVStore> Create() const {
+    return storage::StoreRegistry::Global().Create(name);
+  }
+};
+
+/// Shared `--store <name>` handling for every bench binary: validates the
+/// backend against storage::StoreRegistry::Global() and exits with code 2
+/// on a typo (mirroring --workload/--placement — a typo must not silently
+/// bench the default backend).
+inline StoreSelection StoreFromFlags(int argc, char** argv) {
+  StoreSelection selection;
+  std::string name = FlagValue(argc, argv, "store");
+  if (!name.empty()) {
+    if (!storage::StoreRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown store backend \"%s\"; registered:",
+                   name.c_str());
+      for (const std::string& n : storage::StoreRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    selection.name = name;
+  }
   return selection;
 }
 

@@ -18,13 +18,16 @@
 //   --runs <n>               batches per configuration       [5]
 //   --records <n>            population scale                [10000]
 //   --shards <n>             shard-homed generation over n shards  [1]
+//   --store <name>           storage backend (see --store-list)    [mem]
 //   --placement <name>       placement policy (see --placement-list) [hash]
 //   --placement-params <k=v,...>  policy parameters          []
 //   --params <k=v,...>       extra WorkloadOptions overrides []
 //   --json <path>            output path          [thunderbolt_bench.json]
 //   --smoke                  shrink everything for CI
 //   --list                   print registered workloads and exit
+//   --engine-list            print registered engines and exit
 //   --placement-list         print registered placement policies and exit
+//   --store-list             print registered storage backends and exit
 //
 // With --shards > 1 each batch is drawn shard-homed (round-robin over the
 // shards) and every cell reports cross_frac: the fraction of generated
@@ -36,11 +39,10 @@
 #include <string>
 #include <vector>
 
-#include "baselines/occ_engine.h"
+#include "baselines/engine_registration.h"
 #include "baselines/serial_executor.h"
-#include "baselines/tpl_nowait_engine.h"
 #include "bench/bench_util.h"
-#include "ce/concurrency_controller.h"
+#include "ce/engine_registry.h"
 #include "ce/sim_executor_pool.h"
 #include "common/histogram.h"
 #include "contract/contract.h"
@@ -60,6 +62,7 @@ struct DriverConfig {
   /// Shard count for shard-homed generation (1 = the global mix).
   uint32_t shards = 1;
   bench::PlacementSelection placement;
+  bench::StoreSelection store;
   /// Raw `--params` overrides, applied after the flag-derived fields.
   std::string params;
   std::string json_path = "thunderbolt_bench.json";
@@ -94,21 +97,6 @@ std::vector<std::string> SplitList(const std::string& csv) {
   return items;
 }
 
-std::unique_ptr<ce::BatchEngine> MakeEngine(const std::string& name,
-                                            storage::MemKVStore* store,
-                                            uint32_t batch_size) {
-  if (name == "occ") {
-    return std::make_unique<baselines::OccEngine>(store, batch_size);
-  }
-  if (name == "2pl") {
-    return std::make_unique<baselines::TplNoWaitEngine>(store, batch_size);
-  }
-  if (name == "ce") {
-    return std::make_unique<ce::ConcurrencyController>(store, batch_size);
-  }
-  return nullptr;  // "serial" takes the ExecuteSerial path.
-}
-
 /// One workload x engine x batch x theta cell: `runs` batches executed
 /// back-to-back against one store, then the workload invariant check.
 Result<SweepResult> RunCell(const DriverConfig& config,
@@ -138,8 +126,8 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   if (policy == nullptr) {
     return Status::NotFound("unknown placement: " + config.placement.policy);
   }
-  storage::MemKVStore store;
-  w->InitStore(&store);
+  std::unique_ptr<storage::KVStore> store = config.store.Create();
+  w->InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
   ce::SimExecutorPool pool(config.executors, ce::ExecutionCostModel{});
   const SimTime serial_op_cost = ce::ExecutionCostModel{}.op_cost;
@@ -170,7 +158,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
     }
     if (engine_name == "serial") {
       baselines::SerialExecutionResult r = baselines::ExecuteSerial(
-          *registry, batch, &store, serial_op_cost);
+          *registry, batch, store.get(), serial_op_cost);
       // Commit latency of txn i = virtual time until its sequential turn
       // completes.
       SimTime clock = 0;
@@ -181,13 +169,16 @@ Result<SweepResult> RunCell(const DriverConfig& config,
       }
       total_time += r.duration;
     } else {
-      auto engine = MakeEngine(engine_name, &store, batch_size);
+      // "serial" above is not a BatchEngine; everything else resolves
+      // through the engine registry (baselines registered in main).
+      auto engine = ce::EngineRegistry::Global().Create(
+          engine_name, store.get(), batch_size);
       if (engine == nullptr) {
         return Status::NotFound("unknown engine: " + engine_name);
       }
       THUNDERBOLT_ASSIGN_OR_RETURN(ce::BatchExecutionResult r,
                                    pool.Run(*engine, *registry, batch));
-      THUNDERBOLT_RETURN_NOT_OK(store.Write(r.final_writes));
+      THUNDERBOLT_RETURN_NOT_OK(store->Write(r.final_writes));
       total_time += r.duration;
       out.aborts += r.total_aborts;
       for (double sample : r.commit_latency_us.samples()) {
@@ -209,7 +200,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
                        ? 0
                        : static_cast<double>(cross_generated) /
                              static_cast<double>(out.txns);
-  out.invariant_ok = w->CheckInvariant(store).ok();
+  out.invariant_ok = w->CheckInvariant(*store).ok();
   return out;
 }
 
@@ -222,9 +213,10 @@ bool WriteResultsJson(const std::string& path,
                "{\n  \"bench\": \"thunderbolt_bench\",\n"
                "  \"executors\": %u,\n  \"runs\": %u,\n  \"records\": "
                "%" PRIu64 ",\n  \"shards\": %u,\n  \"placement\": \"%s\",\n"
-               "  \"results\": [",
+               "  \"store\": \"%s\",\n  \"results\": [",
                config.executors, config.runs, config.records, config.shards,
-               bench::JsonEscape(config.placement.policy).c_str());
+               bench::JsonEscape(config.placement.policy).c_str(),
+               bench::JsonEscape(config.store.name).c_str());
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     std::fprintf(
@@ -321,6 +313,7 @@ DriverConfig ParseFlags(int argc, char** argv) {
     }
   }
   config.placement = bench::PlacementFromFlags(argc, argv);
+  config.store = bench::StoreFromFlags(argc, argv);
   config.params = bench::FlagValue(argc, argv, "params");
   // The driver's own flags/sweep own these axes; a --params override would
   // be clobbered per cell and mislabel the JSON series.
@@ -341,10 +334,18 @@ DriverConfig ParseFlags(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace thunderbolt;
+  baselines::RegisterBaselineEngines();
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--list") {
       for (const std::string& name :
            workload::WorkloadRegistry::Global().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (std::string(argv[i]) == "--engine-list") {
+      std::printf("serial\n");  // ExecuteSerial path, not a BatchEngine.
+      for (const std::string& name : ce::EngineRegistry::Global().Names()) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
@@ -356,14 +357,21 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (std::string(argv[i]) == "--store-list") {
+      for (const std::string& name :
+           storage::StoreRegistry::Global().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
   }
   DriverConfig config = ParseFlags(argc, argv);
   bench::Banner("thunderbolt_bench", "workload x engine x batch/skew sweep",
                 "CE sustains the highest throughput with the fewest "
                 "re-executions as batch size and skew grow");
-  if (config.shards > 1) {
-    std::printf("shards: %u  placement: %s\n", config.shards,
-                config.placement.policy.c_str());
+  if (config.shards > 1 || config.store.name != "mem") {
+    std::printf("shards: %u  placement: %s  store: %s\n", config.shards,
+                config.placement.policy.c_str(), config.store.name.c_str());
   }
   bench::Table table({"workload", "engine", "batch", "theta", "tput(tps)",
                       "p50(us)", "p99(us)", "re-exec/txn", "crossfrac",

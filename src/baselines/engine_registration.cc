@@ -1,0 +1,27 @@
+#include "baselines/engine_registration.h"
+
+#include "baselines/occ_engine.h"
+#include "baselines/tpl_nowait_engine.h"
+
+namespace thunderbolt::baselines {
+
+ce::EngineRegistry& RegisterBaselineEngines() {
+  static const bool registered = [] {
+    ce::EngineRegistry& r = ce::EngineRegistry::Global();
+    r.Register("occ",
+               [](const storage::ReadView* base, uint32_t batch_size) {
+                 return std::unique_ptr<ce::BatchEngine>(
+                     new OccEngine(base, batch_size));
+               });
+    r.Register("2pl",
+               [](const storage::ReadView* base, uint32_t batch_size) {
+                 return std::unique_ptr<ce::BatchEngine>(
+                     new TplNoWaitEngine(base, batch_size));
+               });
+    return true;
+  }();
+  (void)registered;
+  return ce::EngineRegistry::Global();
+}
+
+}  // namespace thunderbolt::baselines

@@ -1,0 +1,18 @@
+// Registers the baseline concurrency-control engines ("occ", "2pl") into
+// ce::EngineRegistry::Global(). Lives here rather than in ce/ because the
+// module dependency edge runs baselines -> ce; a driver that wants the
+// full engine menu calls this once at startup (idempotent).
+#ifndef THUNDERBOLT_BASELINES_ENGINE_REGISTRATION_H_
+#define THUNDERBOLT_BASELINES_ENGINE_REGISTRATION_H_
+
+#include "ce/engine_registry.h"
+
+namespace thunderbolt::baselines {
+
+/// Adds "occ" (OccEngine) and "2pl" (TplNoWaitEngine) to
+/// ce::EngineRegistry::Global() and returns it. Safe to call repeatedly.
+ce::EngineRegistry& RegisterBaselineEngines();
+
+}  // namespace thunderbolt::baselines
+
+#endif  // THUNDERBOLT_BASELINES_ENGINE_REGISTRATION_H_

@@ -28,7 +28,7 @@ using storage::Version;
 class OccEngine final : public BatchEngine {
  public:
   /// `base` supplies committed values/versions; must outlive the engine.
-  OccEngine(const storage::KVStore* base, uint32_t batch_size);
+  OccEngine(const storage::ReadView* base, uint32_t batch_size);
 
   void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
     on_abort_ = std::move(cb);
@@ -71,7 +71,7 @@ class OccEngine final : public BatchEngine {
   storage::VersionedValue Current(const Key& key) const;
   void SelfAbort(TxnSlot slot);
 
-  const storage::KVStore* base_;
+  const storage::ReadView* base_;
   uint32_t batch_size_;
   std::vector<Slot> slots_;
   /// Writes committed within this batch, overlaid on `base_`.

@@ -11,7 +11,7 @@ using storage::Value;
 /// transaction completes (so failed contracts leave no partial state).
 class SerialContext final : public contract::ContractContext {
  public:
-  explicit SerialContext(const storage::MemKVStore* store) : store_(store) {}
+  explicit SerialContext(const storage::KVStore* store) : store_(store) {}
 
   Result<Value> Read(const Key& key) override {
     ++ops;
@@ -40,14 +40,14 @@ class SerialContext final : public contract::ContractContext {
   uint64_t ops = 0;
 
  private:
-  const storage::MemKVStore* store_;
+  const storage::KVStore* store_;
 };
 
 }  // namespace
 
 SerialExecutionResult ExecuteSerial(const contract::Registry& registry,
                                     const std::vector<txn::Transaction>& batch,
-                                    storage::MemKVStore* store,
+                                    storage::KVStore* store,
                                     SimTime op_cost) {
   SerialExecutionResult result;
   result.records.reserve(batch.size());

@@ -26,7 +26,7 @@ struct SerialExecutionResult {
 /// are applied as no-ops deterministically.
 SerialExecutionResult ExecuteSerial(const contract::Registry& registry,
                                     const std::vector<txn::Transaction>& batch,
-                                    storage::MemKVStore* store,
+                                    storage::KVStore* store,
                                     SimTime op_cost);
 
 }  // namespace thunderbolt::baselines

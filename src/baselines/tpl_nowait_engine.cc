@@ -4,7 +4,7 @@
 
 namespace thunderbolt::baselines {
 
-TplNoWaitEngine::TplNoWaitEngine(const storage::KVStore* base,
+TplNoWaitEngine::TplNoWaitEngine(const storage::ReadView* base,
                                  uint32_t batch_size)
     : base_(base), batch_size_(batch_size), slots_(batch_size) {
   order_.reserve(batch_size);

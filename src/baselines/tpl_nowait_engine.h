@@ -26,7 +26,7 @@ using storage::Value;
 
 class TplNoWaitEngine final : public BatchEngine {
  public:
-  TplNoWaitEngine(const storage::KVStore* base, uint32_t batch_size);
+  TplNoWaitEngine(const storage::ReadView* base, uint32_t batch_size);
 
   void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
     on_abort_ = std::move(cb);
@@ -74,7 +74,7 @@ class TplNoWaitEngine final : public BatchEngine {
   void ReleaseLocks(TxnSlot slot);
   void SelfAbort(TxnSlot slot);
 
-  const storage::KVStore* base_;
+  const storage::ReadView* base_;
   uint32_t batch_size_;
   std::vector<Slot> slots_;
   std::unordered_map<Key, Lock> locks_;

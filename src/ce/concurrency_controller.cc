@@ -14,7 +14,7 @@ void EraseFromVector(std::vector<TxnSlot>& v, TxnSlot slot) {
 
 }  // namespace
 
-ConcurrencyController::ConcurrencyController(const storage::KVStore* base,
+ConcurrencyController::ConcurrencyController(const storage::ReadView* base,
                                              uint32_t batch_size)
     : base_(base), batch_size_(batch_size), nodes_(batch_size) {
   order_.reserve(batch_size);

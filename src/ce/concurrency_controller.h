@@ -60,7 +60,7 @@ enum class SlotState : uint8_t {
 class ConcurrencyController final : public BatchEngine {
  public:
   /// `base` supplies root values (committed storage). Must outlive CC.
-  ConcurrencyController(const storage::KVStore* base, uint32_t batch_size);
+  ConcurrencyController(const storage::ReadView* base, uint32_t batch_size);
 
   /// The callback is invoked for every slot that must be re-executed (both
   /// self-aborts and cascading aborts); the executor pool re-queues them.
@@ -172,7 +172,7 @@ class ConcurrencyController final : public BatchEngine {
 
   Value RootValue(const Key& key) const;
 
-  const storage::KVStore* base_;
+  const storage::ReadView* base_;
   uint32_t batch_size_;
   std::vector<Node> nodes_;
   std::unordered_map<Key, KeyIndex> key_index_;

@@ -1,0 +1,55 @@
+// String-keyed factory registry for concurrency-control engines, mirroring
+// workload::WorkloadRegistry / placement::PlacementRegistry /
+// storage::StoreRegistry: the bench drivers select a BatchEngine from an
+// `--engine <name>` flag without compile-time coupling.
+//
+// `Global()` is preloaded with "ce" (the Thunderbolt Concurrency
+// Controller, the one engine this module owns). The OCC and 2PL-No-Wait
+// baselines live in the baselines/ module — which depends on ce/, so they
+// cannot preload here; callers that want them call
+// baselines::RegisterBaselineEngines() once at startup
+// (baselines/engine_registration.h). "serial" is not a BatchEngine — the
+// drivers keep routing it through baselines::ExecuteSerial.
+#ifndef THUNDERBOLT_CE_ENGINE_REGISTRY_H_
+#define THUNDERBOLT_CE_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/batch_engine.h"
+
+namespace thunderbolt::ce {
+
+class EngineRegistry {
+ public:
+  /// `base` is the committed read view the engine preplays against; it
+  /// must outlive the engine. `batch_size` is the number of slots.
+  using Factory = std::function<std::unique_ptr<BatchEngine>(
+      const storage::ReadView* base, uint32_t batch_size)>;
+
+  /// Registers `factory` under `name`. Overwrites any existing entry.
+  void Register(std::string name, Factory factory);
+
+  /// Instantiates the named engine, or nullptr for unknown names.
+  std::unique_ptr<BatchEngine> Create(const std::string& name,
+                                      const storage::ReadView* base,
+                                      uint32_t batch_size) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry, preloaded with "ce".
+  static EngineRegistry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace thunderbolt::ce
+
+#endif  // THUNDERBOLT_CE_ENGINE_REGISTRY_H_

@@ -47,7 +47,14 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
     std::abort();
   }
   shared_ = std::make_unique<SharedClusterState>();
-  workload_->InitStore(&shared_->canonical);
+  shared_->canonical =
+      storage::StoreRegistry::Global().Create(config_.store);
+  if (shared_->canonical == nullptr) {
+    std::fprintf(stderr, "Cluster: unknown store backend \"%s\"\n",
+                 config_.store.c_str());
+    std::abort();
+  }
+  workload_->InitStore(shared_->canonical.get());
   metrics_ = std::make_unique<ClusterMetrics>();
 
   nodes_.reserve(config_.n);

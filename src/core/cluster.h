@@ -73,8 +73,8 @@ class Cluster {
   const ThunderboltNode& node(ReplicaId id) const { return *nodes_[id]; }
   sim::Simulator& simulator() { return *simulator_; }
   net::SimNetwork& network() { return *network_; }
-  const storage::MemKVStore& canonical_state() const {
-    return shared_->canonical;
+  const storage::KVStore& canonical_state() const {
+    return *shared_->canonical;
   }
   const ClusterMetrics& metrics() const { return *metrics_; }
   workload::Workload& workload() { return *workload_; }
@@ -90,7 +90,7 @@ class Cluster {
   /// The workload's consistency invariant over the canonical committed
   /// state (end-of-run validation for tests and benches).
   Status CheckInvariant() const {
-    return workload_->CheckInvariant(shared_->canonical);
+    return workload_->CheckInvariant(*shared_->canonical);
   }
 
  private:

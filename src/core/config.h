@@ -53,6 +53,13 @@ struct ThunderboltConfig {
   ///         leader_timeout (the section 5.4 preplay-recovery variant).
   bool use_skip_blocks = false;
 
+  // --- Storage ---------------------------------------------------------------
+  /// Canonical committed-store backend, by storage::StoreRegistry name
+  /// ("mem", "sorted", "cow"). "mem" is the historical default (hash map,
+  /// byte-identical determinism baselines); "cow" makes snapshot/fork
+  /// O(1) structural sharing.
+  std::string store = "mem";
+
   // --- Placement -------------------------------------------------------------
   /// Account -> shard placement policy, by placement::PlacementRegistry
   /// name ("hash", "range", "directory", "locality"). "directory" is the

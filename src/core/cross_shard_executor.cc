@@ -9,7 +9,7 @@
 namespace thunderbolt::core {
 
 CrossShardResult CrossShardExecutor::Execute(
-    const std::vector<txn::Transaction>& txs, storage::MemKVStore* store,
+    const std::vector<txn::Transaction>& txs, storage::KVStore* store,
     const std::vector<ShardId>* home_shards,
     placement::AccessTracker* tracker) const {
   CrossShardResult result;

@@ -63,7 +63,7 @@ class CrossShardExecutor {
   /// — the per-shard access counters PlacementPolicy::Rebalance consults
   /// at the next reconfiguration boundary.
   CrossShardResult Execute(const std::vector<txn::Transaction>& txs,
-                           storage::MemKVStore* store,
+                           storage::KVStore* store,
                            const std::vector<ShardId>* home_shards = nullptr,
                            placement::AccessTracker* tracker = nullptr) const;
 

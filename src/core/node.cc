@@ -13,10 +13,10 @@ namespace {
 
 /// Read view for preplay: the proposer's speculative overlay (its own
 /// in-flight writes) on top of the canonical committed store.
-class OverlayStore final : public storage::KVStore {
+class OverlayStore final : public storage::ReadView {
  public:
   OverlayStore(const std::unordered_map<storage::Key, storage::Value>* overlay,
-               const storage::MemKVStore* base)
+               const storage::ReadView* base)
       : overlay_(overlay), base_(base) {}
 
   Result<storage::VersionedValue> Get(const storage::Key& key) const override {
@@ -38,17 +38,11 @@ class OverlayStore final : public storage::KVStore {
     return base_->GetOrDefault(key, default_value);
   }
 
-  Status Put(const storage::Key&, storage::Value) override {
-    return Status::NotSupported("OverlayStore is read-only");
-  }
-  Status Write(const storage::WriteBatch&) override {
-    return Status::NotSupported("OverlayStore is read-only");
-  }
   size_t size() const override { return base_->size(); }
 
  private:
   const std::unordered_map<storage::Key, storage::Value>* overlay_;
-  const storage::MemKVStore* base_;
+  const storage::ReadView* base_;
 };
 
 const ThunderboltPayload* PayloadOf(const dag::BlockPtr& block) {
@@ -275,7 +269,7 @@ void ThunderboltNode::BuildProposal(Round round) {
 void ThunderboltNode::StartPreplay(Round round,
                                    std::vector<txn::Transaction> singles,
                                    std::vector<txn::Transaction> crosses) {
-  OverlayStore view(&overlay_, &shared_->canonical);
+  OverlayStore view(&overlay_, shared_->canonical.get());
 
   std::unique_ptr<ce::BatchEngine> engine;
   const uint32_t batch = static_cast<uint32_t>(singles.size());
@@ -425,7 +419,7 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
       // First replica to reach this block validates it for real against
       // the canonical committed store and applies the writes.
       ValidationResult vr =
-          ValidatePreplay(*registry_, payload->preplayed, shared_->canonical);
+          ValidatePreplay(*registry_, payload->preplayed, *shared_->canonical);
 #ifdef THUNDERBOLT_DEBUG_VALIDATION
       if (!vr.valid) {
         static int dumped = 0;
@@ -442,7 +436,7 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
       outcome.critical_path = ValidationCriticalPath(payload->preplayed);
       outcome.txs = payload->preplayed.size();
       if (vr.valid) {
-        shared_->canonical.Write(vr.writes);
+        shared_->canonical->Write(vr.writes);
       }
       shared_->block_outcomes.emplace(content_digest, outcome);
     }
@@ -504,7 +498,7 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
       if (config_.mode == ExecutionMode::kTusk) {
         // Serial post-consensus execution.
         baselines::SerialExecutionResult r = baselines::ExecuteSerial(
-            *registry_, txs, &shared_->canonical, config_.exec_costs.op_cost);
+            *registry_, txs, shared_->canonical.get(), config_.exec_costs.op_cost);
         cross_outcome.executed = txs.size();
         cross_outcome.duration = r.duration;
       } else {
@@ -517,7 +511,7 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
           homes.push_back(workload_->HomeShard(tx));
         }
         CrossShardResult r =
-            cross_executor_.Execute(txs, &shared_->canonical, &homes,
+            cross_executor_.Execute(txs, shared_->canonical.get(), &homes,
                                     &shared_->access_tracker);
         cross_outcome.executed = r.executed;
         cross_outcome.duration = r.duration;

@@ -96,7 +96,9 @@ struct ClusterMetrics {
 /// State shared across all nodes of a simulated cluster: the canonical
 /// committed store and the per-commit computation memo (see file header).
 struct SharedClusterState {
-  storage::MemKVStore canonical;
+  /// Created by the Cluster from storage::StoreRegistry per
+  /// ThunderboltConfig::store; always non-null while nodes run.
+  std::unique_ptr<storage::KVStore> canonical;
   struct BlockOutcome {
     bool valid = true;
     uint64_t ops = 0;

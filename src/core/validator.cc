@@ -17,7 +17,7 @@ using storage::Value;
 /// verifying every read against the declared read set.
 class ValidationContext final : public contract::ContractContext {
  public:
-  ValidationContext(const storage::KVStore* base,
+  ValidationContext(const storage::ReadView* base,
                     const std::unordered_map<Key, Value>* block_writes,
                     const txn::ReadWriteSet* declared)
       : base_(base), block_writes_(block_writes), declared_(declared) {}
@@ -70,7 +70,7 @@ class ValidationContext final : public contract::ContractContext {
   std::string mismatch;
 
  private:
-  const storage::KVStore* base_;
+  const storage::ReadView* base_;
   const std::unordered_map<Key, Value>* block_writes_;
   const txn::ReadWriteSet* declared_;
   std::map<Key, Value> local_writes_;
@@ -81,7 +81,7 @@ class ValidationContext final : public contract::ContractContext {
 
 ValidationResult ValidatePreplay(const contract::Registry& registry,
                                  const std::vector<PreplayedTxn>& preplayed,
-                                 const storage::KVStore& base) {
+                                 const storage::ReadView& base) {
   ValidationResult result;
   std::unordered_map<Key, Value> block_writes;
 

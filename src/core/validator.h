@@ -37,7 +37,7 @@ struct ValidationResult {
 /// modify `base`; the caller applies `writes` on success.
 ValidationResult ValidatePreplay(const contract::Registry& registry,
                                  const std::vector<PreplayedTxn>& preplayed,
-                                 const storage::KVStore& base);
+                                 const storage::ReadView& base);
 
 /// Critical-path length of the block's dependency graph, in transactions:
 /// the longest chain of conflicting transactions in scheduled order. The

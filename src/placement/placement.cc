@@ -179,18 +179,47 @@ uint64_t RangePlacement::Fingerprint() const {
 
 // --- DirectoryPlacement -----------------------------------------------------
 
-DirectoryPlacement::DirectoryPlacement(uint32_t num_shards, uint32_t top_k)
+DirectoryPlacement::DirectoryPlacement(uint32_t num_shards, uint32_t top_k,
+                                       uint32_t max_entries)
     : num_shards_(ParseShardCount(num_shards)),
-      top_k_(top_k == 0 ? 1 : top_k) {}
+      top_k_(top_k == 0 ? 1 : top_k),
+      max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
 ShardId DirectoryPlacement::ShardOfAccount(const std::string& account) const {
   auto it = directory_.find(account);
-  if (it != directory_.end()) return it->second;
+  if (it != directory_.end()) return it->second.shard;
   return HashShard(account, num_shards_);
 }
 
+void DirectoryPlacement::PinAccount(
+    const std::string& account, ShardId shard,
+    std::vector<MigrationEvent>* events) {
+  directory_[account] = Pin{shard, ++touch_counter_};
+  BumpGeneration();
+  while (directory_.size() > max_entries_) {
+    // Strict LRU over migration order: evict the pin with the smallest
+    // recency stamp (unique, so the victim is deterministic). The linear
+    // victim scan is bounded by max_entries and only runs when an insert
+    // overflows the bound — at reconfiguration boundaries (<= top_k
+    // inserts per epoch) or config-time Assigns — so an index by touch
+    // stamp would not pay for its bookkeeping.
+    auto victim = directory_.begin();
+    for (auto it = directory_.begin(); it != directory_.end(); ++it) {
+      if (it->second.touch < victim->second.touch) victim = it;
+    }
+    const ShardId pinned = victim->second.shard;
+    const ShardId fallback = HashShard(victim->first, num_shards_);
+    if (events != nullptr && fallback != pinned) {
+      events->push_back(
+          MigrationEvent{victim->first, pinned, fallback, 0, 0});
+    }
+    directory_.erase(victim);
+    BumpGeneration();
+  }
+}
+
 void DirectoryPlacement::Assign(const std::string& account, ShardId shard) {
-  directory_[account] = shard % num_shards_;
+  PinAccount(account, shard % num_shards_, nullptr);
 }
 
 std::vector<MigrationEvent> DirectoryPlacement::Rebalance(
@@ -209,8 +238,8 @@ std::vector<MigrationEvent> DirectoryPlacement::Rebalance(
       }
     }
     if (target == current) continue;  // Already optimally placed.
-    directory_[s.account] = target;
     events.push_back(MigrationEvent{s.account, current, target, s.total, 0});
+    PinAccount(s.account, target, &events);
   }
   return events;
 }
@@ -219,21 +248,30 @@ uint64_t DirectoryPlacement::Fingerprint() const {
   Sha256 h;
   h.Update("placement.directory");
   h.UpdateInt(num_shards_);
-  for (const auto& [account, shard] : directory_) {
+  for (const auto& [account, pin] : directory_) {
     h.UpdateInt<uint32_t>(static_cast<uint32_t>(account.size()));
     h.Update(account);
-    h.UpdateInt(shard);
+    h.UpdateInt(pin.shard);
   }
   return h.Finalize().Prefix64();
 }
 
 std::string DirectoryPlacement::Serialize() const {
   std::string out = "directory " + std::to_string(num_shards_) + " " +
-                    std::to_string(top_k_) + "\n";
-  for (const auto& [account, shard] : directory_) {
-    out += account;
+                    std::to_string(top_k_) + " " +
+                    std::to_string(max_entries_) + "\n";
+  // Entries go out in migration-recency order (oldest first) so a
+  // deserialized twin evicts in the same order the original would.
+  std::vector<std::pair<uint64_t, const std::string*>> by_touch;
+  by_touch.reserve(directory_.size());
+  for (const auto& [account, pin] : directory_) {
+    by_touch.emplace_back(pin.touch, &account);
+  }
+  std::sort(by_touch.begin(), by_touch.end());
+  for (const auto& [touch, account] : by_touch) {
+    out += *account;
     out += ':';
-    out += std::to_string(shard);
+    out += std::to_string(directory_.at(*account).shard);
     out += '\n';
   }
   return out;
@@ -245,14 +283,17 @@ Result<std::unique_ptr<DirectoryPlacement>> DirectoryPlacement::Deserialize(
   if (eol == std::string::npos) {
     return Status::InvalidArgument("directory: missing header line");
   }
-  uint32_t num_shards = 0, top_k = 0;
-  if (std::sscanf(data.substr(0, eol).c_str(), "directory %u %u", &num_shards,
-                  &top_k) != 2 ||
-      num_shards == 0) {
+  uint32_t num_shards = 0, top_k = 0, max_entries = kDefaultMaxEntries;
+  // The third header field (max_entries) arrived with dictionary
+  // bounding; two-field headers from older serializations still parse.
+  int fields = std::sscanf(data.substr(0, eol).c_str(), "directory %u %u %u",
+                           &num_shards, &top_k, &max_entries);
+  if (fields < 2 || num_shards == 0) {
     return Status::InvalidArgument("directory: bad header \"" +
                                    data.substr(0, eol) + "\"");
   }
-  auto policy = std::make_unique<DirectoryPlacement>(num_shards, top_k);
+  auto policy =
+      std::make_unique<DirectoryPlacement>(num_shards, top_k, max_entries);
   size_t start = eol + 1;
   while (start < data.size()) {
     size_t end = data.find('\n', start);
@@ -273,10 +314,24 @@ Result<std::unique_ptr<DirectoryPlacement>> DirectoryPlacement::Deserialize(
         return Status::InvalidArgument("directory: bad shard in \"" + line +
                                        "\"");
       }
+      // Entries are serialized oldest-first, so re-stamping in read order
+      // reconstructs the original eviction order.
       policy->directory_[line.substr(0, colon)] =
-          static_cast<ShardId>(shard);
+          Pin{static_cast<ShardId>(shard), ++policy->touch_counter_};
     }
     start = end + 1;
+  }
+  // A serialization may carry more pins than this policy's bound allows
+  // (legacy two-field headers default it): enforce the invariant the same
+  // way live inserts do, oldest pins first. Entries were stamped in read
+  // order, so the smallest touch is always the map's earliest line.
+  while (policy->directory_.size() > policy->max_entries_) {
+    auto victim = policy->directory_.begin();
+    for (auto it = policy->directory_.begin(); it != policy->directory_.end();
+         ++it) {
+      if (it->second.touch < victim->second.touch) victim = it;
+    }
+    policy->directory_.erase(victim);
   }
   return policy;
 }
@@ -362,10 +417,14 @@ PlacementRegistry& PlacementRegistry::Global() {
     r->Register("directory", [](const PlacementOptions& options) {
       const uint32_t num_shards = ParseShardCount(options.num_shards);
       uint32_t top_k = DirectoryPlacement::kDefaultTopK;
+      uint32_t max_entries = DirectoryPlacement::kDefaultMaxEntries;
       std::vector<std::pair<std::string, ShardId>> assignments;
       for (const Param& p : SplitParams(options.params)) {
         if (p.key == "top_k") {
           top_k = static_cast<uint32_t>(ParseU64OrAbort(options.params, p));
+        } else if (p.key == "max_entries") {
+          max_entries =
+              static_cast<uint32_t>(ParseU64OrAbort(options.params, p));
         } else if (p.key == "assign") {
           for (const std::string& entry : SplitSemis(p.value)) {
             size_t colon = entry.rfind(':');
@@ -390,8 +449,8 @@ PlacementRegistry& PlacementRegistry::Global() {
                          "directory: unknown key \"" + p.key + "\"");
         }
       }
-      auto policy =
-          std::make_unique<DirectoryPlacement>(options.num_shards, top_k);
+      auto policy = std::make_unique<DirectoryPlacement>(options.num_shards,
+                                                         top_k, max_entries);
       for (const auto& [account, shard] : assignments) {
         policy->Assign(account, shard);
       }

@@ -55,6 +55,7 @@ struct PlacementOptions {
   /// Policy-specific "key=value[,key=value...]" parameters:
   ///   range:     splits=<s1>;<s2>;...   (sorted, at most num_shards - 1)
   ///   directory: top_k=<n>              (hot keys migrated per Rebalance)
+  ///              max_entries=<n>        (dictionary bound; LRU eviction)
   ///              assign=<acct>:<shard>;<acct>:<shard>;...
   /// Unknown keys or malformed values abort — placement is cluster
   /// configuration, and a typo must not silently place every account.
@@ -136,6 +137,19 @@ class PlacementPolicy {
   /// with equal fingerprints agree on every account's shard; changes after
   /// every Rebalance that moved an account.
   virtual uint64_t Fingerprint() const = 0;
+
+  /// Monotone counter bumped on every mutation of the mapping (Assign,
+  /// Rebalance migrations, evictions). Lets lookup caches — e.g. the
+  /// account -> shard memo in txn::ShardMapper — detect staleness with one
+  /// compare instead of re-resolving every account.
+  uint64_t generation() const { return generation_; }
+
+ protected:
+  /// Mutating policies call this whenever any account's mapping changes.
+  void BumpGeneration() { ++generation_; }
+
+ private:
+  uint64_t generation_ = 0;
 };
 
 // --- Built-ins --------------------------------------------------------------
@@ -182,12 +196,21 @@ class RangePlacement final : public PlacementPolicy {
 /// Explicit account -> shard dictionary with a hash fallback, the policy
 /// behind hot-key migration. The dictionary is serializable so replicas
 /// (or tests) can exchange and compare the exact mapping.
+///
+/// The dictionary is bounded: it holds at most `max_entries` pins, and
+/// when a migration (or Assign) would exceed the bound the least-recently
+/// migrated pins are evicted back to the hash fallback — so long runs with
+/// churning hot sets cannot grow it without limit. Eviction is
+/// deterministic (strict LRU over migration order, which all replicas
+/// apply identically) and reported as MigrationEvents by Rebalance.
 class DirectoryPlacement final : public PlacementPolicy {
  public:
   static constexpr uint32_t kDefaultTopK = 8;
+  static constexpr uint32_t kDefaultMaxEntries = 4096;
 
   explicit DirectoryPlacement(uint32_t num_shards,
-                              uint32_t top_k = kDefaultTopK);
+                              uint32_t top_k = kDefaultTopK,
+                              uint32_t max_entries = kDefaultMaxEntries);
 
   std::string name() const override { return "directory"; }
   uint32_t num_shards() const override { return num_shards_; }
@@ -212,13 +235,29 @@ class DirectoryPlacement final : public PlacementPolicy {
 
   size_t directory_size() const { return directory_.size(); }
   uint32_t top_k() const { return top_k_; }
+  uint32_t max_entries() const { return max_entries_; }
 
  private:
+  struct Pin {
+    ShardId shard = 0;
+    /// Migration-recency stamp (monotone counter): smallest = least
+    /// recently migrated = first evicted at the bound.
+    uint64_t touch = 0;
+  };
+
+  /// Pins `account`, stamps its recency, and evicts past the bound.
+  /// Eviction events (pins falling back to hash) append to `events` when
+  /// given and actually change the account's shard.
+  void PinAccount(const std::string& account, ShardId shard,
+                  std::vector<MigrationEvent>* events);
+
   uint32_t num_shards_;
   uint32_t top_k_;
+  uint32_t max_entries_;
+  uint64_t touch_counter_ = 0;
   /// Ordered so serialization and Fingerprint never depend on insertion
   /// order.
-  std::map<std::string, ShardId> directory_;
+  std::map<std::string, Pin> directory_;
 };
 
 /// Workload-hinted placement: hashes the account's locality group instead

@@ -1,0 +1,284 @@
+#include "storage/cow_kv_store.h"
+
+#include <utility>
+
+namespace thunderbolt::storage {
+
+namespace {
+
+using Node = CowKVStore::Node;
+using NodePtr = CowKVStore::NodePtr;
+
+/// Fixed 64-bit key hash (FNV-1a + splitmix finisher). Treap priorities
+/// must be a pure function of the key so the tree shape depends only on
+/// the live key set, never on insertion order.
+uint64_t Prio(const Key& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+size_t Count(const NodePtr& t) { return t == nullptr ? 0 : t->count; }
+
+NodePtr MakeNode(Key key, VersionedValue vv, uint64_t prio, NodePtr left,
+                 NodePtr right) {
+  auto n = std::make_shared<Node>();
+  n->key = std::move(key);
+  n->vv = vv;
+  n->prio = prio;
+  n->count = 1 + Count(left) + Count(right);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+/// Path-copies `t` into (keys < key, keys >= key).
+void SplitLess(const NodePtr& t, const Key& key, NodePtr* l, NodePtr* r) {
+  if (t == nullptr) {
+    *l = nullptr;
+    *r = nullptr;
+    return;
+  }
+  if (t->key < key) {
+    NodePtr rl, rr;
+    SplitLess(t->right, key, &rl, &rr);
+    *l = MakeNode(t->key, t->vv, t->prio, t->left, std::move(rl));
+    *r = std::move(rr);
+  } else {
+    NodePtr ll, lr;
+    SplitLess(t->left, key, &ll, &lr);
+    *l = std::move(ll);
+    *r = MakeNode(t->key, t->vv, t->prio, std::move(lr), t->right);
+  }
+}
+
+/// Path-copies `t` into (keys <= key, keys > key).
+void SplitLeq(const NodePtr& t, const Key& key, NodePtr* l, NodePtr* r) {
+  if (t == nullptr) {
+    *l = nullptr;
+    *r = nullptr;
+    return;
+  }
+  if (key < t->key) {
+    NodePtr ll, lr;
+    SplitLeq(t->left, key, &ll, &lr);
+    *l = std::move(ll);
+    *r = MakeNode(t->key, t->vv, t->prio, std::move(lr), t->right);
+  } else {
+    NodePtr rl, rr;
+    SplitLeq(t->right, key, &rl, &rr);
+    *l = MakeNode(t->key, t->vv, t->prio, t->left, std::move(rl));
+    *r = std::move(rr);
+  }
+}
+
+/// Merges two treaps where every key in `a` < every key in `b`.
+NodePtr Merge(const NodePtr& a, const NodePtr& b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  // Deterministic tie-break on equal priorities: lower key on top, so the
+  // shape stays a pure function of the key set.
+  if (a->prio > b->prio || (a->prio == b->prio && a->key < b->key)) {
+    return MakeNode(a->key, a->vv, a->prio, a->left, Merge(a->right, b));
+  }
+  return MakeNode(b->key, b->vv, b->prio, Merge(a, b->left), b->right);
+}
+
+const Node* Find(const NodePtr& root, const Key& key) {
+  const Node* cur = root.get();
+  while (cur != nullptr) {
+    if (key < cur->key) {
+      cur = cur->left.get();
+    } else if (cur->key < key) {
+      cur = cur->right.get();
+    } else {
+      return cur;
+    }
+  }
+  return nullptr;
+}
+
+/// Path-copies the spine down to `key` (which must exist in `t`) and
+/// rewrites its value, bumping the version. No structural change, so this
+/// costs one root-to-node path — the hot case for post-commit batches,
+/// which overwhelmingly overwrite live keys.
+NodePtr UpdateExisting(const NodePtr& t, const Key& key, Value value) {
+  if (key < t->key) {
+    return MakeNode(t->key, t->vv, t->prio,
+                    UpdateExisting(t->left, key, value), t->right);
+  }
+  if (t->key < key) {
+    return MakeNode(t->key, t->vv, t->prio, t->left,
+                    UpdateExisting(t->right, key, value));
+  }
+  return MakeNode(key, VersionedValue{value, t->vv.version + 1}, t->prio,
+                  t->left, t->right);
+}
+
+/// Upserts `key`: bumps the version of a live key, starts fresh keys at 1.
+NodePtr Upsert(const NodePtr& root, const Key& key, Value value) {
+  if (Find(root, key) != nullptr) return UpdateExisting(root, key, value);
+  // Fresh key: split around the insertion point and merge the new leaf in
+  // (two splits + two merges of one spine each).
+  NodePtr less, geq;
+  SplitLess(root, key, &less, &geq);
+  NodePtr fresh =
+      MakeNode(key, VersionedValue{value, 1}, Prio(key), nullptr, nullptr);
+  return Merge(Merge(less, fresh), geq);
+}
+
+/// Removes `key` if present.
+NodePtr Erase(const NodePtr& root, const Key& key) {
+  if (Find(root, key) == nullptr) return root;  // Keep full sharing.
+  NodePtr less, geq, node, greater;
+  SplitLess(root, key, &less, &geq);
+  SplitLeq(geq, key, &node, &greater);
+  return Merge(less, greater);
+}
+
+/// In-order walk over [begin, end) with subtree pruning.
+void ScanNode(const NodePtr& t, const Key& begin, const Key& end,
+              size_t limit, std::vector<ScanEntry>* out) {
+  if (t == nullptr || (limit != 0 && out->size() >= limit)) return;
+  if (begin <= t->key) ScanNode(t->left, begin, end, limit, out);
+  if (limit != 0 && out->size() >= limit) return;
+  if (begin <= t->key && (end.empty() || t->key < end)) {
+    out->push_back(ScanEntry{t->key, t->vv});
+  }
+  if (end.empty() || t->key < end) {
+    ScanNode(t->right, begin, end, limit, out);
+  }
+}
+
+uint64_t FingerprintTree(const NodePtr& root) {
+  // Iterative in-order walk feeding the shared cross-backend digest.
+  ContentDigest digest;
+  std::vector<const Node*> stack;
+  const Node* cur = root.get();
+  while (cur != nullptr || !stack.empty()) {
+    while (cur != nullptr) {
+      stack.push_back(cur);
+      cur = cur->left.get();
+    }
+    cur = stack.back();
+    stack.pop_back();
+    digest.Add(cur->key, cur->vv.value);
+    cur = cur->right.get();
+  }
+  return digest.Finish();
+}
+
+/// O(1) snapshot: retains the root; the tree below is immutable.
+class CowSnapshot final : public StoreSnapshot {
+ public:
+  explicit CowSnapshot(NodePtr root) : root_(std::move(root)) {}
+
+  Result<VersionedValue> Get(const Key& key) const override {
+    const Node* n = Find(root_, key);
+    if (n == nullptr) return Status::NotFound("key not found: " + key);
+    return n->vv;
+  }
+
+  Value GetOrDefault(const Key& key, Value default_value) const override {
+    const Node* n = Find(root_, key);
+    return n == nullptr ? default_value : n->vv.value;
+  }
+
+  size_t size() const override { return Count(root_); }
+
+  std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
+                              size_t limit) const override {
+    std::vector<ScanEntry> out;
+    ScanNode(root_, begin, end, limit, &out);
+    return out;
+  }
+
+ private:
+  NodePtr root_;
+};
+
+}  // namespace
+
+Result<VersionedValue> CowKVStore::Get(const Key& key) const {
+  ++counters_.gets;
+  const Node* n = Find(root_, key);
+  if (n == nullptr) return Status::NotFound("key not found: " + key);
+  return n->vv;
+}
+
+Value CowKVStore::GetOrDefault(const Key& key, Value default_value) const {
+  ++counters_.gets;
+  const Node* n = Find(root_, key);
+  return n == nullptr ? default_value : n->vv.value;
+}
+
+Status CowKVStore::Put(const Key& key, Value value) {
+  ++counters_.puts;
+  root_ = Upsert(root_, key, value);
+  return Status::OK();
+}
+
+Status CowKVStore::Delete(const Key& key) {
+  ++counters_.deletes;
+  root_ = Erase(root_, key);
+  return Status::OK();
+}
+
+Status CowKVStore::Write(const WriteBatch& batch) {
+  ++counters_.batches;
+  // Entries apply in order onto the same root; snapshots taken before the
+  // batch keep the old root, so atomicity-vs-snapshots holds structurally.
+  for (const WriteBatch::Entry& e : batch.entries()) {
+    if (e.op == WriteBatch::Op::kDelete) {
+      ++counters_.deletes;
+      root_ = Erase(root_, e.key);
+    } else {
+      ++counters_.puts;
+      root_ = Upsert(root_, e.key, e.value);
+    }
+  }
+  return Status::OK();
+}
+
+size_t CowKVStore::size() const { return Count(root_); }
+
+std::vector<ScanEntry> CowKVStore::Scan(const Key& begin, const Key& end,
+                                        size_t limit) const {
+  ++counters_.scans;
+  std::vector<ScanEntry> out;
+  ScanNode(root_, begin, end, limit, &out);
+  return out;
+}
+
+std::shared_ptr<const StoreSnapshot> CowKVStore::Snapshot() const {
+  ++counters_.snapshots;
+  return std::make_shared<CowSnapshot>(root_);
+}
+
+std::unique_ptr<KVStore> CowKVStore::Fork() const {
+  ++counters_.forks;
+  auto copy = std::make_unique<CowKVStore>();
+  copy->root_ = root_;
+  return copy;
+}
+
+uint64_t CowKVStore::ContentFingerprint() const {
+  return FingerprintTree(root_);
+}
+
+StoreStats CowKVStore::Stats() const {
+  StoreStats stats = counters_;
+  stats.backend = name();
+  stats.live_keys = Count(root_);
+  return stats;
+}
+
+}  // namespace thunderbolt::storage

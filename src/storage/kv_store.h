@@ -1,4 +1,4 @@
-// Versioned key-value storage engine.
+// Versioned key-value storage engine API (v2).
 //
 // Substitutes for the LevelDB instance the paper uses to hold SmallBank
 // account balances (DESIGN.md substitution #3). Values are 64-bit integers,
@@ -6,14 +6,42 @@
 // <Read, K> and <Write, K, V> over numeric account state. Every committed
 // write bumps the key's version; versions drive OCC validation and preplay
 // re-validation.
+//
+// The API is layered so each consumer sees exactly the capability it needs:
+//
+//   ReadView       Get/GetOrDefault/size — what execution engines preplay
+//                  against (committed base state, or an overlay on it).
+//   StoreSnapshot  An immutable point-in-time ReadView with ordered Scan.
+//                  Writes to the owning store never show through.
+//   KVStore        The full mutable engine: point writes, atomic
+//                  WriteBatches (puts + deletes), ordered Scan, O(?)
+//                  Snapshot()/Fork(), content fingerprinting and Stats().
+//
+// Implementations register by name in StoreRegistry::Global(), mirroring
+// workload::WorkloadRegistry and placement::PlacementRegistry, which is how
+// core::Cluster and the bench drivers select a backend from a `--store
+// <name>` flag without compile-time coupling. Built-ins:
+//
+//   mem     Hash map. Byte-identical behavior to the historical MemKVStore
+//           (determinism baselines carry over); Scan sorts on demand and
+//           Snapshot/Fork copy the whole table.
+//   sorted  Ordered map (sorted_kv_store.h): real range scans, O(n)
+//           snapshots.
+//   cow     Persistent copy-on-write treap (cow_kv_store.h): Snapshot()
+//           and Fork() are O(1) structural sharing — the backend for
+//           validation-style workloads that fork state per block.
 #ifndef THUNDERBOLT_STORAGE_KV_STORE_H_
 #define THUNDERBOLT_STORAGE_KV_STORE_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -27,13 +55,29 @@ using Version = uint64_t;
 struct VersionedValue {
   Value value = 0;
   Version version = 0;
+
+  friend bool operator==(const VersionedValue& a, const VersionedValue& b) {
+    return a.value == b.value && a.version == b.version;
+  }
 };
 
-/// An atomically applied set of writes.
+/// One key/value pair returned by a range scan, in key order.
+struct ScanEntry {
+  Key key;
+  VersionedValue value;
+};
+
+/// An atomically applied sequence of puts and deletes, applied in order
+/// (a later entry for the same key wins; every put bumps the version).
 class WriteBatch {
  public:
+  enum class Op : uint8_t { kPut = 0, kDelete = 1 };
+
   void Put(Key key, Value value) {
-    ops_.push_back(Entry{std::move(key), value});
+    ops_.push_back(Entry{std::move(key), value, Op::kPut});
+  }
+  void Delete(Key key) {
+    ops_.push_back(Entry{std::move(key), 0, Op::kDelete});
   }
   void Clear() { ops_.clear(); }
   size_t size() const { return ops_.size(); }
@@ -41,7 +85,8 @@ class WriteBatch {
 
   struct Entry {
     Key key;
-    Value value;
+    Value value = 0;
+    Op op = Op::kPut;
   };
   const std::vector<Entry>& entries() const { return ops_; }
 
@@ -49,11 +94,12 @@ class WriteBatch {
   std::vector<Entry> ops_;
 };
 
-/// Abstract storage engine interface. Implementations must apply
-/// WriteBatches atomically with respect to snapshots.
-class KVStore {
+/// Read-only view of versioned state: the minimal interface execution
+/// engines run against. Implemented by every store, every snapshot, and by
+/// ad-hoc overlays (e.g. the proposer's speculative preplay view).
+class ReadView {
  public:
-  virtual ~KVStore() = default;
+  virtual ~ReadView() = default;
 
   /// Returns the current value+version, or NotFound.
   virtual Result<VersionedValue> Get(const Key& key) const = 0;
@@ -62,42 +108,173 @@ class KVStore {
   /// fresh SmallBank accounts start from zero balances).
   virtual Value GetOrDefault(const Key& key, Value default_value) const = 0;
 
-  /// Single-key write.
-  virtual Status Put(const Key& key, Value value) = 0;
-
-  /// Atomically applies all writes in the batch.
-  virtual Status Write(const WriteBatch& batch) = 0;
-
   /// Number of live keys.
   virtual size_t size() const = 0;
 };
 
-/// In-memory versioned KV store. Not internally synchronized: in the
-/// discrete-event simulation each replica owns its store and all access is
-/// single-threaded per replica (validation worker pools copy snapshots).
+/// Immutable point-in-time view of a store. Obtained from
+/// KVStore::Snapshot(); later writes to the store never show through.
+class StoreSnapshot : public ReadView {
+ public:
+  /// All entries with `begin` <= key < `end`, in ascending key order. An
+  /// empty `end` means "to the last key"; `limit` 0 means unlimited.
+  virtual std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
+                                      size_t limit = 0) const = 0;
+};
+
+/// Operation counters every backend maintains (monitoring surface; also
+/// how tests assert a backend actually took the cheap path).
+struct StoreStats {
+  std::string backend;       // Registry name.
+  uint64_t live_keys = 0;
+  uint64_t gets = 0;         // Get + GetOrDefault calls.
+  uint64_t puts = 0;         // Put calls + batch put entries.
+  uint64_t deletes = 0;      // Delete calls + batch delete entries.
+  uint64_t batches = 0;      // Write() calls.
+  uint64_t scans = 0;        // Scan() calls (store-level).
+  uint64_t snapshots = 0;    // Snapshot() calls.
+  uint64_t forks = 0;        // Fork() calls.
+};
+
+/// Abstract storage engine interface. Implementations must apply
+/// WriteBatches atomically with respect to snapshots: a snapshot taken
+/// before Write() observes none of the batch.
+class KVStore : public ReadView {
+ public:
+  /// Registry name ("mem", "sorted", "cow").
+  virtual std::string name() const = 0;
+
+  /// Single-key write; bumps the key's version (fresh keys start at 1).
+  virtual Status Put(const Key& key, Value value) = 0;
+
+  /// Removes the key and its version state; a later Put restarts the
+  /// version at 1. Deleting an absent key is a no-op.
+  virtual Status Delete(const Key& key) = 0;
+
+  /// Atomically applies all entries in the batch, in order.
+  virtual Status Write(const WriteBatch& batch) = 0;
+
+  /// All entries with `begin` <= key < `end`, ascending by key. An empty
+  /// `end` means "to the last key"; `limit` 0 means unlimited. Backends
+  /// without native ordering (mem) sort on demand.
+  virtual std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
+                                      size_t limit = 0) const = 0;
+
+  /// Immutable point-in-time view. O(1) for "cow", O(n) copy otherwise.
+  virtual std::shared_ptr<const StoreSnapshot> Snapshot() const = 0;
+
+  /// Independent mutable copy (forks validator state). O(1) structural
+  /// sharing for "cow", deep copy otherwise.
+  virtual std::unique_ptr<KVStore> Fork() const = 0;
+
+  /// Capacity hint: pre-sizes internal structures for `expected_keys` live
+  /// keys so bulk loads (workload InitStore, large WriteBatches) avoid
+  /// incremental rehashing. Backends without a useful notion of capacity
+  /// ignore it.
+  virtual void Reserve(size_t expected_keys) { (void)expected_keys; }
+
+  /// Content digest over sorted (key, value) pairs; used by tests to
+  /// assert replica state convergence. Identical across backends holding
+  /// the same content (versions are excluded, matching the historical
+  /// MemKVStore digest).
+  virtual uint64_t ContentFingerprint() const = 0;
+
+  /// Operation counters + live size (see StoreStats).
+  virtual StoreStats Stats() const = 0;
+};
+
+/// In-memory versioned KV store over a hash table — the "mem" backend,
+/// byte-identical in behavior to the historical MemKVStore. Not internally
+/// synchronized: in the discrete-event simulation each replica owns its
+/// store and all access is single-threaded per replica (validation worker
+/// pools copy snapshots).
 class MemKVStore final : public KVStore {
  public:
   MemKVStore() = default;
 
+  std::string name() const override { return "mem"; }
   Result<VersionedValue> Get(const Key& key) const override;
   Value GetOrDefault(const Key& key, Value default_value) const override;
   Status Put(const Key& key, Value value) override;
+  Status Delete(const Key& key) override;
   Status Write(const WriteBatch& batch) override;
   size_t size() const override { return map_.size(); }
+  std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
+                              size_t limit = 0) const override;
+  std::shared_ptr<const StoreSnapshot> Snapshot() const override;
+  std::unique_ptr<KVStore> Fork() const override;
+  void Reserve(size_t expected_keys) override { map_.reserve(expected_keys); }
+  uint64_t ContentFingerprint() const override;
+  StoreStats Stats() const override;
 
-  /// Pre-sizes the hash table for `expected_keys` live keys so bulk loads
-  /// (workload InitStore, large WriteBatches) avoid incremental rehashing.
-  void Reserve(size_t expected_keys) { map_.reserve(expected_keys); }
-
-  /// Deep copy used to fork validator state.
+  /// Deep copy used to fork validator state (value-semantics twin of
+  /// Fork(), kept for call sites that hold a concrete MemKVStore).
   MemKVStore Clone() const;
-
-  /// Content digest over sorted (key, value, version) triples; used by
-  /// tests to assert replica state convergence.
-  uint64_t ContentFingerprint() const;
 
  private:
   std::unordered_map<Key, VersionedValue> map_;
+  mutable StoreStats counters_;
+};
+
+/// The one content-digest scheme every backend's ContentFingerprint must
+/// produce: feed the live entries in ascending key order, then Finish().
+/// Cross-backend fingerprint agreement (store conformance, determinism
+/// and cross-engine tests) depends on this being the single definition.
+class ContentDigest {
+ public:
+  void Add(const Key& key, Value value) {
+    hash_.Update(key);
+    hash_.UpdateInt(value);
+  }
+  uint64_t Finish() { return hash_.Finalize().Prefix64(); }
+
+ private:
+  Sha256 hash_;
+};
+
+/// Range-scan over an ordered map: entries with `begin` <= key < `end`
+/// (empty `end` = unbounded), up to `limit` (0 = unlimited). Shared by the
+/// std::map-backed backends and snapshots.
+std::vector<ScanEntry> ScanOrderedMap(const std::map<Key, VersionedValue>& map,
+                                      const Key& begin, const Key& end,
+                                      size_t limit);
+
+/// Wraps an ordered entry copy as an immutable StoreSnapshot (the O(n)
+/// snapshot strategy shared by "mem" and "sorted").
+std::shared_ptr<const StoreSnapshot> MakeOrderedSnapshot(
+    std::map<Key, VersionedValue> entries);
+
+/// Everything a store factory may consume.
+struct StoreOptions {
+  /// Capacity hint forwarded to Reserve() on construction (0 = none).
+  size_t expected_keys = 0;
+};
+
+/// Name -> factory registry, mirroring workload::WorkloadRegistry and
+/// placement::PlacementRegistry. `Global()` is preloaded with the built-in
+/// backends ("mem", "sorted", "cow").
+class StoreRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<KVStore>(const StoreOptions&)>;
+
+  /// Registers `factory` under `name`. Overwrites any existing entry.
+  void Register(std::string name, Factory factory);
+
+  /// Instantiates the named backend, or nullptr for unknown names.
+  std::unique_ptr<KVStore> Create(const std::string& name,
+                                  const StoreOptions& options = {}) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry, preloaded with the built-ins.
+  static StoreRegistry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
 };
 
 }  // namespace thunderbolt::storage

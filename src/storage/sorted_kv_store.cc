@@ -1,0 +1,83 @@
+#include "storage/sorted_kv_store.h"
+
+namespace thunderbolt::storage {
+
+Result<VersionedValue> SortedKVStore::Get(const Key& key) const {
+  ++counters_.gets;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+Value SortedKVStore::GetOrDefault(const Key& key, Value default_value) const {
+  ++counters_.gets;
+  auto it = map_.find(key);
+  return it == map_.end() ? default_value : it->second.value;
+}
+
+Status SortedKVStore::Put(const Key& key, Value value) {
+  ++counters_.puts;
+  VersionedValue& vv = map_[key];
+  vv.value = value;
+  ++vv.version;
+  return Status::OK();
+}
+
+Status SortedKVStore::Delete(const Key& key) {
+  ++counters_.deletes;
+  map_.erase(key);
+  return Status::OK();
+}
+
+Status SortedKVStore::Write(const WriteBatch& batch) {
+  ++counters_.batches;
+  for (const WriteBatch::Entry& e : batch.entries()) {
+    if (e.op == WriteBatch::Op::kDelete) {
+      ++counters_.deletes;
+      map_.erase(e.key);
+      continue;
+    }
+    ++counters_.puts;
+    VersionedValue& vv = map_[e.key];
+    vv.value = e.value;
+    ++vv.version;
+  }
+  return Status::OK();
+}
+
+std::vector<ScanEntry> SortedKVStore::Scan(const Key& begin, const Key& end,
+                                           size_t limit) const {
+  ++counters_.scans;
+  return ScanOrderedMap(map_, begin, end, limit);
+}
+
+std::shared_ptr<const StoreSnapshot> SortedKVStore::Snapshot() const {
+  ++counters_.snapshots;
+  return MakeOrderedSnapshot(map_);
+}
+
+std::unique_ptr<KVStore> SortedKVStore::Fork() const {
+  ++counters_.forks;
+  auto copy = std::make_unique<SortedKVStore>();
+  copy->map_ = map_;
+  return copy;
+}
+
+uint64_t SortedKVStore::ContentFingerprint() const {
+  ContentDigest digest;
+  for (const auto& [key, vv] : map_) {
+    digest.Add(key, vv.value);
+  }
+  return digest.Finish();
+}
+
+StoreStats SortedKVStore::Stats() const {
+  StoreStats stats = counters_;
+  stats.backend = name();
+  stats.live_keys = map_.size();
+  return stats;
+}
+
+}  // namespace thunderbolt::storage

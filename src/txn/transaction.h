@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
@@ -98,8 +99,23 @@ class ShardMapper {
   uint32_t num_shards() const { return policy_->num_shards(); }
   const placement::PlacementPolicy& policy() const { return *policy_; }
 
+  /// Classification is the hot path (policy lookup + workload bucket
+  /// rebuilds resolve every account, and the hash policy pays a Sha256
+  /// per resolve), so resolved shards are memoized per mapper. The memo
+  /// keys on the policy's generation counter: a hot-key migration bumps
+  /// it and the next lookup drops the stale cache, preserving the
+  /// mutation-visibility contract of the shared policy object.
   ShardId ShardOfAccount(const std::string& account) const {
-    return policy_->ShardOfAccount(account);
+    if (policy_->generation() != cache_generation_) {
+      shard_cache_.clear();
+      cache_generation_ = policy_->generation();
+    }
+    auto it = shard_cache_.find(account);
+    if (it != shard_cache_.end()) return it->second;
+    const ShardId shard = policy_->ShardOfAccount(account);
+    if (shard_cache_.size() >= kShardCacheMaxEntries) shard_cache_.clear();
+    shard_cache_.emplace(account, shard);
+    return shard;
   }
   ShardId ShardOfKey(const Key& key) const;
 
@@ -123,7 +139,13 @@ class ShardMapper {
   }
 
  private:
+  /// Safety valve for unbounded account spaces: a full cache is dropped
+  /// rather than grown (workload populations sit far below this).
+  static constexpr size_t kShardCacheMaxEntries = 1 << 20;
+
   std::shared_ptr<const placement::PlacementPolicy> policy_;
+  mutable std::unordered_map<std::string, ShardId> shard_cache_;
+  mutable uint64_t cache_generation_ = 0;
 };
 
 /// Builds the storage keys for an account used across the code base.

@@ -59,7 +59,7 @@ std::string SmallBankWorkload::PlacementHint(const std::string& account) const {
   return AccountName(i & ~1ULL);
 }
 
-void SmallBankWorkload::InitStore(storage::MemKVStore* store) const {
+void SmallBankWorkload::InitStore(storage::KVStore* store) const {
   store->Reserve(store->size() + 2 * config_.num_accounts);
   for (uint64_t i = 0; i < config_.num_accounts; ++i) {
     std::string account = AccountName(i);
@@ -134,7 +134,7 @@ txn::Transaction SmallBankWorkload::NextForShard(ShardId shard) {
 }
 
 storage::Value SmallBankWorkload::TotalBalance(
-    const storage::MemKVStore& store) const {
+    const storage::KVStore& store) const {
   storage::Value total = 0;
   for (uint64_t i = 0; i < config_.num_accounts; ++i) {
     std::string account = AccountName(i);
@@ -145,7 +145,7 @@ storage::Value SmallBankWorkload::TotalBalance(
 }
 
 Status SmallBankWorkload::CheckInvariant(
-    const storage::MemKVStore& store) const {
+    const storage::KVStore& store) const {
   storage::Value expected =
       static_cast<storage::Value>(config_.num_accounts) *
       (config_.initial_checking + config_.initial_savings);

@@ -46,7 +46,7 @@ class SmallBankWorkload final : public Workload {
   std::string name() const override { return "smallbank"; }
 
   /// Seeds every account's checking and savings balance in `store`.
-  void InitStore(storage::MemKVStore* store) const override;
+  void InitStore(storage::KVStore* store) const override;
 
   /// Account name for global Zipfian rank `i` (rank 0 is hottest).
   static std::string AccountName(uint64_t i);
@@ -74,11 +74,11 @@ class SmallBankWorkload final : public Workload {
 
   /// Sum of all balances; conserved by every SmallBank mix that excludes
   /// WriteCheck and failed sends (used by invariant tests).
-  storage::Value TotalBalance(const storage::MemKVStore& store) const;
+  storage::Value TotalBalance(const storage::KVStore& store) const;
 
   /// Total-balance conservation: the GetBalance/SendPayment mix never
   /// creates or destroys money, so the sum must equal the seeded total.
-  Status CheckInvariant(const storage::MemKVStore& store) const override;
+  Status CheckInvariant(const storage::KVStore& store) const override;
 
  protected:
   void RebuildShardBuckets() override;

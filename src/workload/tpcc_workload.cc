@@ -9,7 +9,7 @@ namespace thunderbolt::workload {
 
 namespace {
 
-storage::Value ReadOrZero(const storage::MemKVStore& store,
+storage::Value ReadOrZero(const storage::KVStore& store,
                           const std::string& key) {
   return store.GetOrDefault(key, 0);
 }
@@ -77,7 +77,7 @@ std::string TpccLiteWorkload::ItemName(uint32_t i) {
   return "item" + std::to_string(i);
 }
 
-void TpccLiteWorkload::InitStore(storage::MemKVStore* store) const {
+void TpccLiteWorkload::InitStore(storage::KVStore* store) const {
   store->Reserve(store->size() + options_.num_warehouses +
                  2 * num_customers_ + options_.num_items);
   for (uint32_t w = 0; w < options_.num_warehouses; ++w) {
@@ -197,7 +197,7 @@ ShardId TpccLiteWorkload::HomeShard(const txn::Transaction& tx) const {
 }
 
 Status TpccLiteWorkload::CheckInvariant(
-    const storage::MemKVStore& store) const {
+    const storage::KVStore& store) const {
   // Remote payments decouple the paying warehouse from the credited
   // customer, so the customer breakdown only balances globally.
   const bool remote_payments =

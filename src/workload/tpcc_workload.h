@@ -61,7 +61,7 @@ class TpccLiteWorkload final : public Workload {
     return (w + 3 * d + 7 * c) % 10 == 0;
   }
 
-  void InitStore(storage::MemKVStore* store) const override;
+  void InitStore(storage::KVStore* store) const override;
   txn::Transaction Next() override;
   /// District (and thus warehouse) drawn from `shard`'s bucket; with
   /// probability cross_shard_ratio a Payment instead credits a *remote*
@@ -92,7 +92,7 @@ class TpccLiteWorkload final : public Workload {
   /// warehouse, so the per-warehouse customer breakdown is replaced by its
   /// global counterpart: sum over all warehouses of ytd == sum of all
   /// district ytd == sum of all customer ytd_payment.
-  Status CheckInvariant(const storage::MemKVStore& store) const override;
+  Status CheckInvariant(const storage::KVStore& store) const override;
 
   uint64_t num_customers() const { return num_customers_; }
 

@@ -82,7 +82,7 @@ class Workload {
   virtual std::string name() const = 0;
 
   /// Seeds the initial application state in `store`.
-  virtual void InitStore(storage::MemKVStore* store) const = 0;
+  virtual void InitStore(storage::KVStore* store) const = 0;
 
   /// Next transaction in the global mix.
   virtual txn::Transaction Next() = 0;
@@ -136,7 +136,7 @@ class Workload {
   /// Checks the workload's consistency invariant over a final state (e.g.
   /// SmallBank total-balance conservation, TPC-C-lite YTD consistency).
   /// Returns OK when the invariant holds, Corruption otherwise.
-  virtual Status CheckInvariant(const storage::MemKVStore& store) const = 0;
+  virtual Status CheckInvariant(const storage::KVStore& store) const = 0;
 
  protected:
   /// Rebuilds any account -> shard buckets derived from `mapper_`.

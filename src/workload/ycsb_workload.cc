@@ -47,7 +47,7 @@ std::string YcsbWorkload::RecordName(uint64_t i) {
   return "user" + std::to_string(i);
 }
 
-void YcsbWorkload::InitStore(storage::MemKVStore* store) const {
+void YcsbWorkload::InitStore(storage::KVStore* store) const {
   store->Reserve(store->size() + options_.num_records);
   for (uint64_t i = 0; i < options_.num_records; ++i) {
     store->Put(contract::KvValueKey(RecordName(i)), kInitialValue);
@@ -148,7 +148,7 @@ txn::Transaction YcsbWorkload::NextForShard(ShardId shard) {
   return MakeOp(SampleShardRecord(shard));
 }
 
-Status YcsbWorkload::CheckInvariant(const storage::MemKVStore& store) const {
+Status YcsbWorkload::CheckInvariant(const storage::KVStore& store) const {
   // kv.* contracts only ever write the seeded record keys, so any size
   // change means an engine manufactured or lost a key.
   if (store.size() != options_.num_records) {

@@ -43,7 +43,7 @@ class YcsbWorkload final : public Workload {
   /// Record (account) name for hotness rank `i`.
   static std::string RecordName(uint64_t i);
 
-  void InitStore(storage::MemKVStore* store) const override;
+  void InitStore(storage::KVStore* store) const override;
   txn::Transaction Next() override;
   /// Single-record op on the shard's bucket; with probability
   /// cross_shard_ratio (and more than one shard) a kv.transfer from a
@@ -59,7 +59,7 @@ class YcsbWorkload final : public Workload {
   /// arguments are positive; transfers clamp at the source balance).
   /// Assumes the store was seeded by InitStore alone — YCSB owns its whole
   /// keyspace.
-  Status CheckInvariant(const storage::MemKVStore& store) const override;
+  Status CheckInvariant(const storage::KVStore& store) const override;
 
  protected:
   void RebuildShardBuckets() override;

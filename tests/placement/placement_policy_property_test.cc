@@ -241,5 +241,107 @@ TEST_F(PlacementPolicyPropertyTest, RebalanceMovesHotKeysTowardAccessors) {
   EXPECT_EQ(policy.ShardOfAccount("hot"), 2u);
 }
 
+TEST_F(PlacementPolicyPropertyTest, DirectoryDictionaryStaysBounded) {
+  // Long runs churn the hot set: the dictionary must never exceed
+  // max_entries, however many epochs of migrations (or manual assigns)
+  // pile up — the least-recently-migrated pins fall back to hash.
+  constexpr uint32_t kMaxEntries = 32;
+  DirectoryPlacement policy(4, /*top_k=*/8, kMaxEntries);
+  EXPECT_EQ(policy.max_entries(), kMaxEntries);
+
+  uint64_t total_migrations = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    AccessTracker stats;
+    // A fresh hot set every epoch, hammered from a rotating shard.
+    for (int a = 0; a < 8; ++a) {
+      std::string account =
+          "epoch" + std::to_string(epoch) + ".hot" + std::to_string(a);
+      for (int hit = 0; hit < 10; ++hit) {
+        stats.RecordRemoteAccess(account,
+                                 static_cast<ShardId>((epoch + a) % 4));
+      }
+    }
+    std::vector<MigrationEvent> events = policy.Rebalance(stats);
+    total_migrations += events.size();
+    EXPECT_LE(policy.directory_size(), kMaxEntries)
+        << "epoch " << epoch << " overflowed the dictionary";
+    for (const MigrationEvent& e : events) {
+      EXPECT_LT(e.to, 4u);
+    }
+  }
+  // The churn really exercised the bound (not a vacuous pass).
+  EXPECT_GT(total_migrations, kMaxEntries);
+  EXPECT_EQ(policy.directory_size(), kMaxEntries);
+
+  // Assign floods respect the same bound.
+  DirectoryPlacement assigned(4, /*top_k=*/8, kMaxEntries);
+  for (int i = 0; i < 500; ++i) {
+    assigned.Assign("acct" + std::to_string(i),
+                    static_cast<ShardId>(i % 4));
+  }
+  EXPECT_EQ(assigned.directory_size(), kMaxEntries);
+  // The survivors are exactly the most recently assigned pins.
+  for (int i = 500 - kMaxEntries; i < 500; ++i) {
+    EXPECT_EQ(assigned.ShardOfAccount("acct" + std::to_string(i)),
+              static_cast<ShardId>(i % 4));
+  }
+}
+
+TEST_F(PlacementPolicyPropertyTest, DirectoryEvictionSurvivesSerialization) {
+  // The serialized form carries migration-recency order, so original and
+  // restored replicas evict the same victim next.
+  constexpr uint32_t kMaxEntries = 8;
+  DirectoryPlacement policy(4, /*top_k=*/2, kMaxEntries);
+  for (int i = 0; i < 8; ++i) {
+    policy.Assign("pin" + std::to_string(i), static_cast<ShardId>(i % 4));
+  }
+  auto restored = DirectoryPlacement::Deserialize(policy.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->max_entries(), kMaxEntries);
+  EXPECT_EQ((*restored)->Fingerprint(), policy.Fingerprint());
+
+  // One more pin overflows both; they must evict identically.
+  policy.Assign("straw", 1);
+  (*restored)->Assign("straw", 1);
+  EXPECT_EQ(policy.directory_size(), kMaxEntries);
+  EXPECT_EQ((*restored)->directory_size(), kMaxEntries);
+  EXPECT_EQ((*restored)->Fingerprint(), policy.Fingerprint());
+
+  // Legacy two-field headers still parse, defaulting the bound.
+  auto legacy = DirectoryPlacement::Deserialize("directory 4 2\nacct1:3\n");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ((*legacy)->max_entries(), DirectoryPlacement::kDefaultMaxEntries);
+  EXPECT_EQ((*legacy)->ShardOfAccount("acct1"), 3u);
+
+  // A serialization carrying more pins than its own bound (hand-edited or
+  // produced under a larger bound) is trimmed oldest-first on load, so
+  // the invariant holds from the first lookup.
+  auto trimmed =
+      DirectoryPlacement::Deserialize("directory 4 2 2\na:0\nb:1\nc:2\n");
+  ASSERT_TRUE(trimmed.ok()) << trimmed.status().ToString();
+  EXPECT_EQ((*trimmed)->directory_size(), 2u);
+  EXPECT_EQ((*trimmed)->ShardOfAccount("b"), 1u);
+  EXPECT_EQ((*trimmed)->ShardOfAccount("c"), 2u);
+}
+
+TEST_F(PlacementPolicyPropertyTest, GenerationTracksMutations) {
+  // txn::ShardMapper's memo cache keys on generation(): it must move on
+  // every mapping change and stay put on lookups.
+  DirectoryPlacement policy(4);
+  const uint64_t initial = policy.generation();
+  policy.ShardOfAccount("acct1");
+  EXPECT_EQ(policy.generation(), initial);
+  policy.Assign("acct1", 2);
+  EXPECT_GT(policy.generation(), initial);
+
+  AccessTracker stats;
+  for (int i = 0; i < 10; ++i) stats.RecordRemoteAccess("hotkey", 3);
+  const uint64_t before = policy.generation();
+  std::vector<MigrationEvent> events = policy.Rebalance(stats);
+  if (!events.empty()) {
+    EXPECT_GT(policy.generation(), before);
+  }
+}
+
 }  // namespace
 }  // namespace thunderbolt::placement

@@ -123,5 +123,99 @@ TEST(WriteBatchTest, ClearResets) {
   EXPECT_TRUE(batch.empty());
 }
 
+
+TEST(MemKVStoreTest, DeleteRemovesKeyAndVersionState) {
+  MemKVStore store;
+  ASSERT_TRUE(store.Put("k", 1).ok());
+  ASSERT_TRUE(store.Put("k", 2).ok());
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  EXPECT_EQ(store.size(), 0u);
+  // Deleting an absent key is a no-op; re-creation restarts at version 1.
+  ASSERT_TRUE(store.Delete("k").ok());
+  ASSERT_TRUE(store.Put("k", 3).ok());
+  EXPECT_EQ(store.Get("k")->version, 1u);
+}
+
+TEST(MemKVStoreTest, BatchDeleteAppliesInOrder) {
+  MemKVStore store;
+  store.Put("a", 1);
+  WriteBatch batch;
+  batch.Delete("a");
+  batch.Put("a", 2);   // Later entry wins: key re-created at version 1.
+  batch.Put("b", 3);
+  batch.Delete("c");   // Absent key: no-op.
+  ASSERT_TRUE(store.Write(batch).ok());
+  EXPECT_EQ(store.Get("a")->value, 2);
+  EXPECT_EQ(store.Get("a")->version, 1u);
+  EXPECT_EQ(store.Get("b")->value, 3);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MemKVStoreTest, ScanSortsOnDemand) {
+  MemKVStore store;
+  store.Put("b", 2);
+  store.Put("a", 1);
+  store.Put("c", 3);
+  std::vector<ScanEntry> all = store.Scan("", "");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key, "a");
+  EXPECT_EQ(all[1].key, "b");
+  EXPECT_EQ(all[2].key, "c");
+  std::vector<ScanEntry> window = store.Scan("a", "c");
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0].key, "a");
+  EXPECT_EQ(window[1].key, "b");
+  EXPECT_EQ(store.Scan("", "", 1).size(), 1u);
+}
+
+TEST(MemKVStoreTest, SnapshotIgnoresLaterWrites) {
+  MemKVStore store;
+  store.Put("k", 1);
+  std::shared_ptr<const StoreSnapshot> snap = store.Snapshot();
+  store.Put("k", 2);
+  store.Put("fresh", 9);
+  EXPECT_EQ(snap->GetOrDefault("k", -1), 1);
+  EXPECT_FALSE(snap->Get("fresh").ok());
+  EXPECT_EQ(snap->size(), 1u);
+  EXPECT_EQ(store.GetOrDefault("k", -1), 2);
+}
+
+TEST(MemKVStoreTest, ForkMatchesCloneSemantics) {
+  MemKVStore store;
+  store.Put("k", 1);
+  std::unique_ptr<KVStore> fork = store.Fork();
+  MemKVStore clone = store.Clone();
+  EXPECT_EQ(fork->ContentFingerprint(), clone.ContentFingerprint());
+  fork->Put("k", 2);
+  EXPECT_EQ(store.GetOrDefault("k", -1), 1);
+}
+
+TEST(StoreRegistryTest, GlobalKnowsAllBuiltins) {
+  StoreRegistry& registry = StoreRegistry::Global();
+  EXPECT_EQ(registry.Names(),
+            (std::vector<std::string>{"cow", "mem", "sorted"}));
+  for (const std::string& name : registry.Names()) {
+    std::unique_ptr<KVStore> store = registry.Create(name);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->name(), name);
+    EXPECT_EQ(store->size(), 0u);
+  }
+  EXPECT_EQ(registry.Create("leveldb"), nullptr);
+  EXPECT_FALSE(registry.Contains("leveldb"));
+}
+
+TEST(StoreRegistryTest, ExpectedKeysHintIsHonored) {
+  // The hint must not change observable content (Reserve is semantics-free).
+  StoreOptions options;
+  options.expected_keys = 1024;
+  std::unique_ptr<KVStore> store = StoreRegistry::Global().Create("mem",
+                                                                  options);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->size(), 0u);
+  store->Put("k", 1);
+  EXPECT_EQ(store->GetOrDefault("k", 0), 1);
+}
+
 }  // namespace
 }  // namespace thunderbolt::storage

@@ -1,0 +1,264 @@
+// Store-conformance battery: every backend registered in
+// storage::StoreRegistry must implement the same observable contract —
+// get/put/delete round-trips against a reference model, snapshot isolation
+// from later batches, ordered scans, per-key version monotonicity, fork
+// independence, and content-fingerprint agreement across backends. A new
+// backend gets the whole battery for free by registering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/kv_store.h"
+#include "testutil/testutil.h"
+
+namespace thunderbolt::storage {
+namespace {
+
+std::string KeyName(uint64_t i) { return "key" + std::to_string(i % 200); }
+
+/// Applies a deterministic op mix to `store` and a std::map reference
+/// model in lockstep; returns the model.
+std::map<Key, VersionedValue> DriveRandomOps(KVStore* store, Rng* rng,
+                                             int ops) {
+  std::map<Key, VersionedValue> model;
+  auto model_put = [&model](const Key& key, Value value) {
+    VersionedValue& vv = model[key];
+    vv.value = value;
+    ++vv.version;
+  };
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t pick = rng->NextBounded(100);
+    if (pick < 50) {
+      Key key = KeyName(rng->NextBounded(1000));
+      Value value = static_cast<Value>(rng->NextBounded(1000000));
+      EXPECT_TRUE(store->Put(key, value).ok()) << store->name();
+      model_put(key, value);
+    } else if (pick < 65) {
+      Key key = KeyName(rng->NextBounded(1000));
+      EXPECT_TRUE(store->Delete(key).ok()) << store->name();
+      model.erase(key);
+    } else {
+      // Batch with a put/delete mix, including duplicate keys.
+      WriteBatch batch;
+      const uint64_t entries = 1 + rng->NextBounded(8);
+      for (uint64_t e = 0; e < entries; ++e) {
+        Key key = KeyName(rng->NextBounded(1000));
+        if (rng->NextBounded(4) == 0) {
+          batch.Delete(key);
+          model.erase(key);
+        } else {
+          Value value = static_cast<Value>(rng->NextBounded(1000000));
+          batch.Put(key, value);
+          model_put(key, value);
+        }
+      }
+      EXPECT_TRUE(store->Write(batch).ok()) << store->name();
+    }
+  }
+  return model;
+}
+
+void ExpectMatchesModel(const ReadView& view,
+                        const std::map<Key, VersionedValue>& model,
+                        const std::string& context) {
+  EXPECT_EQ(view.size(), model.size()) << context;
+  for (const auto& [key, vv] : model) {
+    auto got = view.Get(key);
+    ASSERT_TRUE(got.ok()) << context << ": lost " << key;
+    EXPECT_EQ(got->value, vv.value) << context << ": " << key;
+    EXPECT_EQ(got->version, vv.version) << context << ": " << key;
+    EXPECT_EQ(view.GetOrDefault(key, -1), vv.value) << context << ": " << key;
+  }
+  EXPECT_FALSE(view.Get("never-written").ok()) << context;
+  EXPECT_EQ(view.GetOrDefault("never-written", 42), 42) << context;
+}
+
+class StoreConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<KVStore> MakeStore() const {
+    std::unique_ptr<KVStore> store =
+        StoreRegistry::Global().Create(GetParam());
+    EXPECT_NE(store, nullptr);
+    EXPECT_EQ(store->name(), GetParam());
+    return store;
+  }
+};
+
+TEST_P(StoreConformanceTest, RandomOpsMatchReferenceModel) {
+  auto store = MakeStore();
+  Rng rng(testutil::kDefaultSeed);
+  std::map<Key, VersionedValue> model = DriveRandomOps(store.get(), &rng,
+                                                       /*ops=*/3000);
+  ExpectMatchesModel(*store, model, GetParam());
+}
+
+TEST_P(StoreConformanceTest, VersionsStartAtOneAndGrowMonotonically) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Put("a", 1).ok());
+  EXPECT_EQ(store->Get("a")->version, 1u);
+  ASSERT_TRUE(store->Put("a", 2).ok());
+  EXPECT_EQ(store->Get("a")->version, 2u);
+
+  // Batch entries bump once per entry, duplicates included.
+  WriteBatch batch;
+  batch.Put("a", 3);
+  batch.Put("a", 4);
+  ASSERT_TRUE(store->Write(batch).ok());
+  EXPECT_EQ(store->Get("a")->value, 4);
+  EXPECT_EQ(store->Get("a")->version, 4u);
+
+  // Delete erases version state; re-creation restarts at 1.
+  ASSERT_TRUE(store->Delete("a").ok());
+  EXPECT_FALSE(store->Get("a").ok());
+  ASSERT_TRUE(store->Put("a", 5).ok());
+  EXPECT_EQ(store->Get("a")->version, 1u);
+}
+
+TEST_P(StoreConformanceTest, SnapshotIsolatedFromLaterWrites) {
+  auto store = MakeStore();
+  Rng rng(7);
+  std::map<Key, VersionedValue> before =
+      DriveRandomOps(store.get(), &rng, 500);
+  std::shared_ptr<const StoreSnapshot> snap = store->Snapshot();
+
+  // Batches and point writes after the snapshot must not show through —
+  // including deletes of keys the snapshot holds.
+  WriteBatch batch;
+  for (const auto& [key, vv] : before) {
+    batch.Put(key, vv.value + 1000);
+  }
+  ASSERT_TRUE(store->Write(batch).ok());
+  DriveRandomOps(store.get(), &rng, 500);
+
+  ExpectMatchesModel(*snap, before, GetParam() + "/snapshot");
+  std::vector<ScanEntry> scan = snap->Scan("", "");
+  ASSERT_EQ(scan.size(), before.size());
+  auto expect = before.begin();
+  for (const ScanEntry& entry : scan) {
+    EXPECT_EQ(entry.key, expect->first);
+    EXPECT_EQ(entry.value.value, expect->second.value);
+    ++expect;
+  }
+}
+
+TEST_P(StoreConformanceTest, ScanIsOrderedBoundedAndLimited) {
+  auto store = MakeStore();
+  Rng rng(13);
+  std::map<Key, VersionedValue> model = DriveRandomOps(store.get(), &rng,
+                                                       1500);
+  ASSERT_FALSE(model.empty());
+
+  // Full scan = the model, in key order.
+  std::vector<ScanEntry> all = store->Scan("", "");
+  ASSERT_EQ(all.size(), model.size());
+  auto it = model.begin();
+  for (const ScanEntry& entry : all) {
+    EXPECT_EQ(entry.key, it->first);
+    EXPECT_EQ(entry.value.value, it->second.value);
+    EXPECT_EQ(entry.value.version, it->second.version);
+    ++it;
+  }
+
+  // Half-open [begin, end) window.
+  const Key begin = "key1", end = "key5";
+  std::vector<ScanEntry> window = store->Scan(begin, end);
+  size_t expected = 0;
+  for (const auto& [key, vv] : model) {
+    if (key >= begin && key < end) ++expected;
+  }
+  EXPECT_EQ(window.size(), expected);
+  for (const ScanEntry& entry : window) {
+    EXPECT_GE(entry.key, begin);
+    EXPECT_LT(entry.key, end);
+  }
+
+  // Limit returns the first entries of the same ordering.
+  std::vector<ScanEntry> limited = store->Scan("", "", 5);
+  ASSERT_EQ(limited.size(), std::min<size_t>(5, model.size()));
+  for (size_t i = 0; i < limited.size(); ++i) {
+    EXPECT_EQ(limited[i].key, all[i].key);
+  }
+}
+
+TEST_P(StoreConformanceTest, ForkIsIndependentOfOriginal) {
+  auto store = MakeStore();
+  Rng rng(29);
+  std::map<Key, VersionedValue> model = DriveRandomOps(store.get(), &rng,
+                                                       800);
+  std::unique_ptr<KVStore> fork = store->Fork();
+  const uint64_t fp = store->ContentFingerprint();
+  EXPECT_EQ(fork->ContentFingerprint(), fp);
+
+  // Mutations on either side stay invisible to the other.
+  ASSERT_TRUE(fork->Put("fork-only", 1).ok());
+  ASSERT_TRUE(store->Delete(model.begin()->first).ok());
+  EXPECT_FALSE(store->Get("fork-only").ok());
+  EXPECT_TRUE(fork->Get(model.begin()->first).ok());
+  EXPECT_NE(fork->ContentFingerprint(), store->ContentFingerprint());
+}
+
+TEST_P(StoreConformanceTest, StatsCountOperations) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Put("a", 1).ok());
+  ASSERT_TRUE(store->Delete("a").ok());
+  WriteBatch batch;
+  batch.Put("b", 2);
+  batch.Delete("c");
+  ASSERT_TRUE(store->Write(batch).ok());
+  store->GetOrDefault("b", 0);
+  store->Scan("", "");
+  store->Snapshot();
+  store->Fork();
+  StoreStats stats = store->Stats();
+  EXPECT_EQ(stats.backend, GetParam());
+  EXPECT_EQ(stats.live_keys, 1u);
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.deletes, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_GE(stats.gets, 1u);
+  EXPECT_EQ(stats.scans, 1u);
+  EXPECT_EQ(stats.snapshots, 1u);
+  EXPECT_EQ(stats.forks, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StoreConformanceTest,
+    ::testing::ValuesIn(StoreRegistry::Global().Names()),
+    [](const auto& info) { return std::string(info.param); });
+
+// The same deterministic op history must land every backend on the same
+// content fingerprint and the same scan — so engines may swap backends
+// without moving the replica-agreement goalposts.
+TEST(StoreCrossBackendAgreement, IdenticalHistoryIdenticalContent) {
+  std::vector<std::unique_ptr<KVStore>> stores;
+  for (const std::string& name : StoreRegistry::Global().Names()) {
+    stores.push_back(StoreRegistry::Global().Create(name));
+  }
+  ASSERT_GE(stores.size(), 3u);
+  std::vector<std::map<Key, VersionedValue>> models;
+  for (auto& store : stores) {
+    Rng rng(testutil::kDefaultSeed);  // Identical stream per backend.
+    models.push_back(DriveRandomOps(store.get(), &rng, 2000));
+  }
+  for (size_t i = 1; i < stores.size(); ++i) {
+    EXPECT_EQ(models[i], models[0]);
+    EXPECT_EQ(stores[i]->ContentFingerprint(),
+              stores[0]->ContentFingerprint())
+        << stores[i]->name() << " diverged from " << stores[0]->name();
+    std::vector<ScanEntry> a = stores[0]->Scan("", "");
+    std::vector<ScanEntry> b = stores[i]->Scan("", "");
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e].key, b[e].key);
+      EXPECT_EQ(a[e].value.value, b[e].value.value);
+      EXPECT_EQ(a[e].value.version, b[e].value.version);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thunderbolt::storage

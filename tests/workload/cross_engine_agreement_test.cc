@@ -13,11 +13,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "baselines/occ_engine.h"
+#include "baselines/engine_registration.h"
 #include "baselines/serial_executor.h"
-#include "baselines/tpl_nowait_engine.h"
-#include "ce/concurrency_controller.h"
+#include "ce/engine_registry.h"
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
 #include "testutil/testutil.h"
@@ -51,57 +53,60 @@ WorkloadOptions AgreementOptions(const std::string& workload_name,
 }
 
 /// Runs kBatches batches (regenerated identically per engine from the
-/// seed) through `engine_name` and returns the final fingerprint.
+/// seed) through `engine_name` on the named storage backend and returns
+/// the final fingerprint.
 uint64_t RunEngine(const std::string& workload_name,
-                   const std::string& engine_name, uint64_t seed) {
+                   const std::string& engine_name,
+                   const std::string& store_name, uint64_t seed) {
   auto w = WorkloadRegistry::Global().Create(
       workload_name, AgreementOptions(workload_name, seed));
   EXPECT_NE(w, nullptr);
-  storage::MemKVStore store;
-  w->InitStore(&store);
+  std::unique_ptr<storage::KVStore> store =
+      storage::StoreRegistry::Global().Create(store_name);
+  EXPECT_NE(store, nullptr);
+  w->InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
   ce::SimExecutorPool pool(8, ce::ExecutionCostModel{});
   for (uint32_t b = 0; b < kBatches; ++b) {
     auto batch = w->MakeBatch(kBatchSize);
     if (engine_name == "serial") {
-      baselines::ExecuteSerial(*registry, batch, &store, Micros(1));
+      baselines::ExecuteSerial(*registry, batch, store.get(), Micros(1));
       continue;
     }
-    std::unique_ptr<ce::BatchEngine> engine;
-    if (engine_name == "occ") {
-      engine = std::make_unique<baselines::OccEngine>(&store, kBatchSize);
-    } else if (engine_name == "2pl") {
-      engine =
-          std::make_unique<baselines::TplNoWaitEngine>(&store, kBatchSize);
-    } else {
-      engine =
-          std::make_unique<ce::ConcurrencyController>(&store, kBatchSize);
-    }
+    std::unique_ptr<ce::BatchEngine> engine =
+        baselines::RegisterBaselineEngines().Create(engine_name, store.get(),
+                                                    kBatchSize);
+    EXPECT_NE(engine, nullptr) << engine_name;
+    if (engine == nullptr) break;
     auto r = pool.Run(*engine, *registry, batch);
     EXPECT_TRUE(r.ok()) << engine_name << ": " << r.status().ToString();
     if (!r.ok()) break;
-    EXPECT_TRUE(store.Write(r->final_writes).ok());
+    EXPECT_TRUE(store->Write(r->final_writes).ok());
   }
-  Status invariant = w->CheckInvariant(store);
+  Status invariant = w->CheckInvariant(*store);
   EXPECT_TRUE(invariant.ok())
-      << workload_name << " under " << engine_name << ": "
-      << invariant.ToString();
-  return store.ContentFingerprint();
+      << workload_name << " under " << engine_name << " on " << store_name
+      << ": " << invariant.ToString();
+  return store->ContentFingerprint();
 }
 
+/// (workload name, store backend name).
+using AgreementParam = std::pair<std::string, std::string>;
+
 class CrossEngineAgreementTest
-    : public ::testing::TestWithParam<std::string> {};
+    : public ::testing::TestWithParam<AgreementParam> {};
 
 TEST_P(CrossEngineAgreementTest, AllEnginesReachSameState) {
-  const std::string workload_name = GetParam();
+  const auto& [workload_name, store_name] = GetParam();
   ASSERT_TRUE(WorkloadRegistry::Global().Contains(workload_name));
   for (uint64_t seed : {91u, 92u}) {
-    uint64_t serial_fp = RunEngine(workload_name, "serial", seed);
+    uint64_t serial_fp = RunEngine(workload_name, "serial", store_name, seed);
     for (const char* engine_name : kConcurrentEngines) {
-      uint64_t fp = RunEngine(workload_name, engine_name, seed);
+      uint64_t fp = RunEngine(workload_name, engine_name, store_name, seed);
       EXPECT_EQ(fp, serial_fp)
           << workload_name << ": " << engine_name
-          << " diverged from serial at seed " << seed;
+          << " diverged from serial at seed " << seed << " on "
+          << store_name;
     }
   }
 }
@@ -109,21 +114,46 @@ TEST_P(CrossEngineAgreementTest, AllEnginesReachSameState) {
 // Same seed + same engine twice -> byte-identical final state (the
 // determinism leg: generators and engines introduce no hidden entropy).
 TEST_P(CrossEngineAgreementTest, FixedSeedReproducesExactly) {
-  const std::string workload_name = GetParam();
+  const auto& [workload_name, store_name] = GetParam();
   for (const char* engine_name : {"serial", "ce"}) {
-    uint64_t first = RunEngine(workload_name, engine_name, 93);
-    uint64_t second = RunEngine(workload_name, engine_name, 93);
-    EXPECT_EQ(first, second) << workload_name << " under " << engine_name;
+    uint64_t first = RunEngine(workload_name, engine_name, store_name, 93);
+    uint64_t second = RunEngine(workload_name, engine_name, store_name, 93);
+    EXPECT_EQ(first, second)
+        << workload_name << " under " << engine_name << " on " << store_name;
   }
 }
 
-// Every *registered* workload is covered automatically: a new
-// registration must ship an AgreementOptions config with commutative
-// committed effects (or extend it) to keep this suite meaningful.
+// The store backend sits below serializability: mem and cow runs of the
+// same (workload, engine, seed) must agree on the final fingerprint.
+TEST_P(CrossEngineAgreementTest, StoreBackendsAgree) {
+  const auto& [workload_name, store_name] = GetParam();
+  if (store_name != "mem") GTEST_SKIP() << "mem leg covers the pairing";
+  for (const char* engine_name : {"serial", "ce"}) {
+    uint64_t mem_fp = RunEngine(workload_name, engine_name, "mem", 94);
+    uint64_t cow_fp = RunEngine(workload_name, engine_name, "cow", 94);
+    EXPECT_EQ(mem_fp, cow_fp)
+        << workload_name << " under " << engine_name;
+  }
+}
+
+/// Every *registered* workload is covered automatically on the historical
+/// "mem" backend plus the persistent "cow" backend: a new workload
+/// registration must ship an AgreementOptions config with commutative
+/// committed effects (or extend it) to keep this suite meaningful.
+std::vector<AgreementParam> AgreementMatrix() {
+  std::vector<AgreementParam> params;
+  for (const std::string& workload : WorkloadRegistry::Global().Names()) {
+    params.emplace_back(workload, "mem");
+    params.emplace_back(workload, "cow");
+  }
+  return params;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, CrossEngineAgreementTest,
-    ::testing::ValuesIn(WorkloadRegistry::Global().Names()),
-    [](const auto& info) { return std::string(info.param); });
+    ::testing::ValuesIn(AgreementMatrix()), [](const auto& info) {
+      return info.param.first + "_" + info.param.second;
+    });
 
 }  // namespace
 }  // namespace thunderbolt::workload
