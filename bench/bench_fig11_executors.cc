@@ -14,7 +14,7 @@
 #include "baselines/tpl_nowait_engine.h"
 #include "bench/bench_util.h"
 #include "ce/concurrency_controller.h"
-#include "ce/sim_executor_pool.h"
+#include "ce/executor_pool.h"
 #include "contract/contract.h"
 #include "workload/smallbank_workload.h"
 
@@ -34,7 +34,8 @@ struct Measurement {
 
 Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
                       double read_ratio, uint32_t runs,
-                      const bench::StoreSelection& store_sel) {
+                      const bench::StoreSelection& store_sel,
+                      const bench::PoolSelection& pool_sel) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = 0.85;
@@ -45,7 +46,7 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
   w.InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
 
-  ce::SimExecutorPool pool(executors, ce::ExecutionCostModel{});
+  std::unique_ptr<ce::ExecutorPool> pool = pool_sel.Create(executors);
   SimTime total_time = 0;
   uint64_t total_txns = 0, total_aborts = 0;
   double latency_sum = 0;
@@ -66,7 +67,7 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
                                                               batch_size);
         break;
     }
-    auto r = pool.Run(*engine, *registry, batch);
+    auto r = pool->Run(*engine, *registry, batch);
     if (!r.ok()) {
       std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
       continue;
@@ -86,7 +87,8 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
 }
 
 void RunWorkload(const char* title, double read_ratio, uint32_t runs,
-                 const bench::StoreSelection& store_sel) {
+                 const bench::StoreSelection& store_sel,
+                 const bench::PoolSelection& pool_sel) {
   std::printf("\n--- %s ---\n", title);
   bench::Table table({"engine", "batch", "executors", "tput(tps)",
                       "latency(s)", "re-exec/txn"},
@@ -97,7 +99,7 @@ void RunWorkload(const char* title, double read_ratio, uint32_t runs,
     for (uint32_t batch : {300u, 500u}) {
       for (uint32_t executors : {1u, 4u, 8u, 12u, 16u}) {
         Measurement m = RunConfig(engine.kind, executors, batch,
-                                  read_ratio, runs, store_sel);
+                                  read_ratio, runs, store_sel, pool_sel);
         table.Row({engine.name, bench::FmtInt(batch),
                    bench::FmtInt(executors), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4), bench::Fmt(m.re_executions, 3)});
@@ -113,12 +115,16 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  const bench::PoolSelection pool = bench::PoolFromFlags(argc, argv);
   bench::Banner(
       "Figure 11", "CE vs OCC vs 2PL-No-Wait across executor counts",
       "throughput rises then plateaus (~12 executors for Thunderbolt/OCC); "
       "2PL-No-Wait degrades beyond 8 executors; Thunderbolt has the fewest "
       "re-executions (~50% of OCC, ~10% of 2PL at b500)");
-  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs, store);
-  RunWorkload("(b) update-only, Pr = 0", 0.0, runs, store);
+  if (pool.name != "sim") {
+    std::printf("pool: %s (wall-clock timings)\n", pool.name.c_str());
+  }
+  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs, store, pool);
+  RunWorkload("(b) update-only, Pr = 0", 0.0, runs, store, pool);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig11");
 }

@@ -11,7 +11,7 @@
 #include "baselines/tpl_nowait_engine.h"
 #include "bench/bench_util.h"
 #include "ce/concurrency_controller.h"
-#include "ce/sim_executor_pool.h"
+#include "ce/executor_pool.h"
 #include "contract/contract.h"
 #include "workload/smallbank_workload.h"
 
@@ -25,7 +25,8 @@ struct Measurement {
 
 Measurement RunConfig(int kind, uint32_t batch_size, double theta,
                       double read_ratio, uint32_t runs,
-                      const bench::StoreSelection& store_sel) {
+                      const bench::StoreSelection& store_sel,
+                      const bench::PoolSelection& pool_sel) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = theta;
@@ -35,7 +36,8 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
   std::unique_ptr<storage::KVStore> store = store_sel.Create();
   w.InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
-  ce::SimExecutorPool pool(12, ce::ExecutionCostModel{});
+  // 12 executors: the Figure 11 plateau point.
+  std::unique_ptr<ce::ExecutorPool> pool = pool_sel.Create(12);
 
   SimTime total_time = 0;
   uint64_t total_txns = 0;
@@ -57,7 +59,7 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
                                                               batch_size);
         break;
     }
-    auto r = pool.Run(*engine, *registry, batch);
+    auto r = pool->Run(*engine, *registry, batch);
     if (!r.ok()) continue;
     store->Write(r->final_writes);
     total_time += r->duration;
@@ -72,7 +74,8 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
 
 const char* kEngineNames[] = {"Thunderbolt", "OCC", "2PL-No-Wait"};
 
-void ThetaSweep(uint32_t runs, const bench::StoreSelection& store) {
+void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
+                const bench::PoolSelection& pool) {
   std::printf("\n--- (a,b) theta sweep, Pr = 0.5 ---\n");
   bench::Table table(
       {"engine", "batch", "theta", "tput(tps)", "latency(s)"},
@@ -80,7 +83,7 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store) {
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double theta : {0.75, 0.8, 0.85, 0.9}) {
-        Measurement m = RunConfig(kind, batch, theta, 0.5, runs, store);
+        Measurement m = RunConfig(kind, batch, theta, 0.5, runs, store, pool);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(theta, 2), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -89,14 +92,15 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store) {
   }
 }
 
-void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store) {
+void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store,
+                    const bench::PoolSelection& pool) {
   std::printf("\n--- (c,d) Pr sweep, theta = 0.85 ---\n");
   bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"},
                      "read_ratio_sweep");
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double pr : {1.0, 0.8, 0.5, 0.1, 0.0}) {
-        Measurement m = RunConfig(kind, batch, 0.85, pr, runs, store);
+        Measurement m = RunConfig(kind, batch, 0.85, pr, runs, store, pool);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(pr, 1), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -112,13 +116,17 @@ int main(int argc, char** argv) {
   using namespace thunderbolt;
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  const bench::PoolSelection pool = bench::PoolFromFlags(argc, argv);
   bench::Banner(
       "Figure 12", "CE under varying contention (theta) and read ratio (Pr)",
       "comparable Thunderbolt/OCC at theta=0.75; OCC declines sharply by "
       "theta=0.9 while Thunderbolt stays ahead; at Pr=1 all engines "
       "converge (OCC slightly best); lower Pr hurts 2PL most and "
       "Thunderbolt beats OCC on write-heavy mixes");
-  ThetaSweep(runs, store);
-  ReadRatioSweep(runs, store);
+  if (pool.name != "sim") {
+    std::printf("pool: %s (wall-clock timings)\n", pool.name.c_str());
+  }
+  ThetaSweep(runs, store, pool);
+  ReadRatioSweep(runs, store, pool);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig12");
 }

@@ -7,6 +7,7 @@
 #ifndef THUNDERBOLT_BENCH_BENCH_UTIL_H_
 #define THUNDERBOLT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -325,6 +326,40 @@ inline StoreSelection StoreFromFlags(int argc, char** argv) {
       for (const std::string& n : storage::StoreRegistry::Global().Names()) {
         std::fprintf(stderr, " %s", n.c_str());
       }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    selection.name = name;
+  }
+  return selection;
+}
+
+/// The executor pool a bench binary was asked to run with.
+struct PoolSelection {
+  std::string name = "sim";
+
+  void ApplyTo(core::ThunderboltConfig* config) const { config->pool = name; }
+
+  /// Instantiates the pool (never null: the name was validated by
+  /// PoolFromFlags).
+  std::unique_ptr<ce::ExecutorPool> Create(
+      uint32_t num_executors, ce::ExecutionCostModel costs = {}) const {
+    return ce::CreateExecutorPool(name, num_executors, costs);
+  }
+};
+
+/// Shared `--pool <name>` handling: validates against
+/// ce::ExecutorPoolNames() and exits with code 2 on a typo. "sim" keeps
+/// virtual-time determinism; "thread" measures real wall-clock scaling.
+inline PoolSelection PoolFromFlags(int argc, char** argv) {
+  PoolSelection selection;
+  std::string name = FlagValue(argc, argv, "pool");
+  if (!name.empty()) {
+    std::vector<std::string> names = ce::ExecutorPoolNames();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      std::fprintf(stderr, "unknown executor pool \"%s\"; registered:",
+                   name.c_str());
+      for (const std::string& n : names) std::fprintf(stderr, " %s", n.c_str());
       std::fprintf(stderr, "\n");
       std::exit(2);
     }

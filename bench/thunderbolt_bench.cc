@@ -15,6 +15,9 @@
 //   --batch <sizes>          comma list of batch sizes       [100,300]
 //   --theta <values>         comma list of Zipfian skews     [0.85]
 //   --executors <n>          simulated executors             [8]
+//   --pool <names>           executor pools: sim,thread      [sim]
+//   --threads <counts>       comma list of pool widths; overrides
+//                            --executors as a sweep axis     [--executors]
 //   --runs <n>               batches per configuration       [5]
 //   --records <n>            population scale                [10000]
 //   --shards <n>             shard-homed generation over n shards  [1]
@@ -34,6 +37,11 @@
 // transactions the placement policy classifies as cross-shard. Comparing
 // `--placement hash` against `--placement locality` at the same
 // cross_shard_ratio makes the policy's traffic reduction visible per run.
+//
+// With --pool thread the batch engines run on real std::thread workers and
+// tps/latency are wall-clock numbers; with the default sim pool they are
+// virtual time. The two are not comparable — see EXPERIMENTS.md. The
+// "serial" engine always executes inline regardless of --pool.
 #include <cinttypes>
 #include <memory>
 #include <string>
@@ -43,7 +51,7 @@
 #include "baselines/serial_executor.h"
 #include "bench/bench_util.h"
 #include "ce/engine_registry.h"
-#include "ce/sim_executor_pool.h"
+#include "ce/executor_pool.h"
 #include "common/histogram.h"
 #include "contract/contract.h"
 #include "workload/workload.h"
@@ -56,6 +64,10 @@ struct DriverConfig {
   std::vector<std::string> engines;
   std::vector<uint32_t> batch_sizes;
   std::vector<double> thetas;
+  /// Executor pools to sweep ("sim", "thread").
+  std::vector<std::string> pools;
+  /// Pool widths to sweep; defaults to {executors}.
+  std::vector<uint32_t> threads;
   uint32_t executors = 8;
   uint32_t runs = 5;
   uint64_t records = 10000;
@@ -71,6 +83,8 @@ struct DriverConfig {
 struct SweepResult {
   std::string workload;
   std::string engine;
+  std::string pool;
+  uint32_t threads = 0;
   uint32_t batch_size = 0;
   double theta = 0;
   uint64_t txns = 0;
@@ -102,6 +116,7 @@ std::vector<std::string> SplitList(const std::string& csv) {
 Result<SweepResult> RunCell(const DriverConfig& config,
                             const std::string& workload_name,
                             const std::string& engine_name,
+                            const std::string& pool_name, uint32_t threads,
                             uint32_t batch_size, double theta) {
   workload::WorkloadOptions options;
   options.num_records = config.records;
@@ -129,12 +144,18 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   std::unique_ptr<storage::KVStore> store = config.store.Create();
   w->InitStore(store.get());
   auto registry = contract::Registry::CreateDefault();
-  ce::SimExecutorPool pool(config.executors, ce::ExecutionCostModel{});
+  std::unique_ptr<ce::ExecutorPool> pool =
+      ce::CreateExecutorPool(pool_name, threads, ce::ExecutionCostModel{});
+  if (pool == nullptr) {
+    return Status::NotFound("unknown executor pool: " + pool_name);
+  }
   const SimTime serial_op_cost = ce::ExecutionCostModel{}.op_cost;
 
   SweepResult out;
   out.workload = workload_name;
   out.engine = engine_name;
+  out.pool = pool_name;
+  out.threads = threads;
   out.batch_size = batch_size;
   out.theta = theta;
   SimTime total_time = 0;
@@ -177,7 +198,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
         return Status::NotFound("unknown engine: " + engine_name);
       }
       THUNDERBOLT_ASSIGN_OR_RETURN(ce::BatchExecutionResult r,
-                                   pool.Run(*engine, *registry, batch));
+                                   pool->Run(*engine, *registry, batch));
       THUNDERBOLT_RETURN_NOT_OK(store->Write(r.final_writes));
       total_time += r.duration;
       out.aborts += r.total_aborts;
@@ -222,12 +243,14 @@ bool WriteResultsJson(const std::string& path,
     std::fprintf(
         f,
         "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
+        "\"pool\": \"%s\", \"threads\": %u, "
         "\"batch_size\": %u, \"theta\": %.3f, \"txns\": %" PRIu64
         ", \"tps\": %.1f, \"p50_latency_us\": %.1f, \"p99_latency_us\": "
         "%.1f, \"aborts\": %" PRIu64 ", \"re_execs_per_txn\": %.4f, "
         "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
         i == 0 ? "" : ",", bench::JsonEscape(r.workload).c_str(),
-        bench::JsonEscape(r.engine).c_str(), r.batch_size, r.theta, r.txns,
+        bench::JsonEscape(r.engine).c_str(), bench::JsonEscape(r.pool).c_str(),
+        r.threads, r.batch_size, r.theta, r.txns,
         r.tps, r.p50_latency_us, r.p99_latency_us, r.aborts,
         r.re_execs_per_txn, r.cross_frac,
         r.invariant_ok ? "true" : "false");
@@ -286,6 +309,22 @@ DriverConfig ParseFlags(int argc, char** argv) {
       std::exit(2);
     }
   }
+  std::string pools = bench::FlagValue(argc, argv, "pool");
+  if (pools.empty()) {
+    config.pools = {"sim"};
+  } else {
+    config.pools = SplitList(pools);
+  }
+  std::string threads = bench::FlagValue(argc, argv, "threads");
+  for (const std::string& t : SplitList(threads)) {
+    uint32_t count =
+        static_cast<uint32_t>(std::strtoul(t.c_str(), nullptr, 10));
+    if (count == 0) {
+      std::fprintf(stderr, "invalid --threads entry \"%s\"\n", t.c_str());
+      std::exit(2);
+    }
+    config.threads.push_back(count);
+  }
   std::string runs = bench::FlagValue(argc, argv, "runs");
   if (!runs.empty()) {
     config.runs =
@@ -326,6 +365,9 @@ DriverConfig ParseFlags(int argc, char** argv) {
     if (runs.empty()) config.runs = 2;
     if (records.empty()) config.records = 200;
   }
+  // --threads defaults to the single --executors width, keeping the
+  // historical sweep shape when the axis isn't exercised.
+  if (config.threads.empty()) config.threads = {config.executors};
   return config;
 }
 
@@ -373,35 +415,41 @@ int main(int argc, char** argv) {
     std::printf("shards: %u  placement: %s  store: %s\n", config.shards,
                 config.placement.policy.c_str(), config.store.name.c_str());
   }
-  bench::Table table({"workload", "engine", "batch", "theta", "tput(tps)",
-                      "p50(us)", "p99(us)", "re-exec/txn", "crossfrac",
-                      "invariant"},
+  bench::Table table({"workload", "engine", "pool", "thr", "batch", "theta",
+                      "tput(tps)", "p50(us)", "p99(us)", "re-exec/txn",
+                      "crossfrac", "invariant"},
                      "sweep");
   std::vector<SweepResult> results;
   bool all_ok = true;
   for (const std::string& workload_name : config.workloads) {
     for (const std::string& engine_name : config.engines) {
-      for (uint32_t batch_size : config.batch_sizes) {
-        for (double theta : config.thetas) {
-          auto cell =
-              RunCell(config, workload_name, engine_name, batch_size, theta);
-          if (!cell.ok()) {
-            std::fprintf(stderr, "%s/%s b%u theta %.2f failed: %s\n",
-                         workload_name.c_str(), engine_name.c_str(),
-                         batch_size, theta, cell.status().ToString().c_str());
-            all_ok = false;
-            continue;
+      for (const std::string& pool_name : config.pools) {
+        for (uint32_t threads : config.threads) {
+          for (uint32_t batch_size : config.batch_sizes) {
+            for (double theta : config.thetas) {
+              auto cell = RunCell(config, workload_name, engine_name,
+                                  pool_name, threads, batch_size, theta);
+              if (!cell.ok()) {
+                std::fprintf(stderr, "%s/%s/%s t%u b%u theta %.2f failed: %s\n",
+                             workload_name.c_str(), engine_name.c_str(),
+                             pool_name.c_str(), threads, batch_size, theta,
+                             cell.status().ToString().c_str());
+                all_ok = false;
+                continue;
+              }
+              if (!cell->invariant_ok) all_ok = false;
+              results.push_back(*cell);
+              table.Row({cell->workload, cell->engine, cell->pool,
+                         bench::FmtInt(cell->threads),
+                         bench::FmtInt(cell->batch_size),
+                         bench::Fmt(cell->theta, 2), bench::Fmt(cell->tps, 0),
+                         bench::Fmt(cell->p50_latency_us, 1),
+                         bench::Fmt(cell->p99_latency_us, 1),
+                         bench::Fmt(cell->re_execs_per_txn, 3),
+                         bench::Fmt(cell->cross_frac, 3),
+                         cell->invariant_ok ? "ok" : "VIOLATED"});
+            }
           }
-          if (!cell->invariant_ok) all_ok = false;
-          results.push_back(*cell);
-          table.Row({cell->workload, cell->engine,
-                     bench::FmtInt(cell->batch_size),
-                     bench::Fmt(cell->theta, 2), bench::Fmt(cell->tps, 0),
-                     bench::Fmt(cell->p50_latency_us, 1),
-                     bench::Fmt(cell->p99_latency_us, 1),
-                     bench::Fmt(cell->re_execs_per_txn, 3),
-                     bench::Fmt(cell->cross_frac, 3),
-                     cell->invariant_ok ? "ok" : "VIOLATED"});
         }
       }
     }

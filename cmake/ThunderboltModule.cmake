@@ -39,6 +39,8 @@ function(thunderbolt_add_test name)
   foreach(dep IN LISTS ARG_DEPS)
     target_link_libraries(${name} PRIVATE thunderbolt::${dep})
   endforeach()
+  # Note: gtest_discover_tests forwards PROPERTIES through a -D define,
+  # which flattens list values — so each test gets exactly ONE label.
   gtest_discover_tests(${name}
     PROPERTIES LABELS "${ARG_LABELS}"
     DISCOVERY_TIMEOUT 60)

@@ -9,6 +9,7 @@ OccEngine::OccEngine(const storage::ReadView* base, uint32_t batch_size)
   order_.reserve(batch_size);
 }
 
+// Callers must hold mu_ (shared suffices; Finish holds it exclusive).
 storage::VersionedValue OccEngine::Current(const Key& key) const {
   auto it = overlay_.find(key);
   if (it != overlay_.end()) return it->second;
@@ -35,7 +36,11 @@ Result<Value> OccEngine::Read(TxnSlot slot, uint32_t incarnation,
   auto rit = s.reads.find(key);
   if (rit != s.reads.end()) return rit->second.value;
 
-  storage::VersionedValue vv = Current(key);
+  storage::VersionedValue vv;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    vv = Current(key);
+  }
   s.reads[key] = ReadEntry{vv.value, vv.version};
   return vv.value;
 }
@@ -73,7 +78,11 @@ Status OccEngine::Finish(TxnSlot slot, uint32_t incarnation) {
   if (s.incarnation != incarnation || !s.running) {
     return Status::Aborted("occ: stale incarnation");
   }
-  // Central verifier: every read must still carry the version it observed.
+  // Central verifier: validation and write installation form one exclusive
+  // critical section, so no two transactions can validate against a state
+  // the other is mid-way through changing.
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  // Every read must still carry the version it observed.
   for (const auto& [key, entry] : s.reads) {
     if (Current(key).version != entry.version) {
       // Build the status before SelfAbort: it clears s.reads, which would

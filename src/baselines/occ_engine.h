@@ -9,8 +9,10 @@
 #ifndef THUNDERBOLT_BASELINES_OCC_ENGINE_H_
 #define THUNDERBOLT_BASELINES_OCC_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +35,12 @@ class OccEngine final : public BatchEngine {
   void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
     on_abort_ = std::move(cb);
   }
+
+  /// Per-slot state is single-owner (OCC aborts only itself, from its own
+  /// Finish), so slot accesses are lock-free; only the committed overlay
+  /// is shared — reads take `mu_` shared, the Finish-time validate+commit
+  /// critical section takes it exclusive (the "central verifier").
+  bool SupportsConcurrentExecutors() const override { return true; }
 
   uint32_t Begin(TxnSlot slot) override;
   Result<Value> Read(TxnSlot slot, uint32_t incarnation,
@@ -74,11 +82,15 @@ class OccEngine final : public BatchEngine {
   const storage::ReadView* base_;
   uint32_t batch_size_;
   std::vector<Slot> slots_;
+  /// Guards overlay_ and order_ (shared for reads, exclusive for the
+  /// Finish validate+commit section).
+  mutable std::shared_mutex mu_;
   /// Writes committed within this batch, overlaid on `base_`.
   std::unordered_map<Key, storage::VersionedValue> overlay_;
   std::vector<TxnSlot> order_;
-  uint32_t committed_ = 0;
-  uint64_t total_aborts_ = 0;
+  /// Atomic so progress checks never block (batch_engine.h contract).
+  std::atomic<uint32_t> committed_{0};
+  std::atomic<uint64_t> total_aborts_{0};
   std::function<void(TxnSlot)> on_abort_;
 };
 

@@ -10,6 +10,7 @@ TplNoWaitEngine::TplNoWaitEngine(const storage::ReadView* base,
   order_.reserve(batch_size);
 }
 
+// Callers must hold mu_.
 Value TplNoWaitEngine::Current(const Key& key) const {
   auto it = overlay_.find(key);
   if (it != overlay_.end()) return it->second;
@@ -33,6 +34,7 @@ Result<Value> TplNoWaitEngine::Read(TxnSlot slot, uint32_t incarnation,
   auto rit = s.reads.find(key);
   if (rit != s.reads.end()) return rit->second;
 
+  std::lock_guard<std::mutex> lk(mu_);
   Lock& lock = locks_[key];
   if (lock.has_exclusive && lock.exclusive != slot) {
     SelfAbort(slot);  // No-wait: conflicting writer holds the key.
@@ -51,6 +53,7 @@ Status TplNoWaitEngine::Write(TxnSlot slot, uint32_t incarnation,
   if (s.incarnation != incarnation || !s.running) {
     return Status::Aborted("2pl: stale incarnation");
   }
+  std::lock_guard<std::mutex> lk(mu_);
   Lock& lock = locks_[key];
   if (lock.has_exclusive && lock.exclusive != slot) {
     SelfAbort(slot);
@@ -76,6 +79,7 @@ void TplNoWaitEngine::Emit(TxnSlot slot, uint32_t incarnation, Value value) {
   s.emitted.push_back(value);
 }
 
+// Callers must hold mu_.
 void TplNoWaitEngine::ReleaseLocks(TxnSlot slot) {
   Slot& s = slots_[slot];
   for (const Key& key : s.held_locks) {
@@ -91,6 +95,8 @@ void TplNoWaitEngine::ReleaseLocks(TxnSlot slot) {
   s.held_locks.clear();
 }
 
+// Callers must hold mu_ (the abort callback is invoked with it held;
+// lock order: engine mutex, then pool mutex).
 void TplNoWaitEngine::SelfAbort(TxnSlot slot) {
   Slot& s = slots_[slot];
   ReleaseLocks(slot);
@@ -109,6 +115,7 @@ Status TplNoWaitEngine::Finish(TxnSlot slot, uint32_t incarnation) {
   if (s.incarnation != incarnation || !s.running) {
     return Status::Aborted("2pl: stale incarnation");
   }
+  std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [key, value] : s.writes) {
     overlay_[key] = value;
   }
@@ -147,6 +154,9 @@ storage::WriteBatch TplNoWaitEngine::FinalWrites() const {
   return batch;
 }
 
-size_t TplNoWaitEngine::LockedKeyCount() const { return locks_.size(); }
+size_t TplNoWaitEngine::LockedKeyCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return locks_.size();
+}
 
 }  // namespace thunderbolt::baselines

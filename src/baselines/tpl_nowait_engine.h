@@ -8,8 +8,10 @@
 #ifndef THUNDERBOLT_BASELINES_TPL_NOWAIT_ENGINE_H_
 #define THUNDERBOLT_BASELINES_TPL_NOWAIT_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +33,12 @@ class TplNoWaitEngine final : public BatchEngine {
   void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
     on_abort_ = std::move(cb);
   }
+
+  /// Per-slot state is single-owner (no-wait aborts only the acting
+  /// transaction); the central lock controller — lock table, committed
+  /// overlay, order — serializes on one mutex, the engine's real critical
+  /// section. Repeat reads and write-buffer hits stay lock-free.
+  bool SupportsConcurrentExecutors() const override { return true; }
 
   uint32_t Begin(TxnSlot slot) override;
   Result<Value> Read(TxnSlot slot, uint32_t incarnation,
@@ -77,11 +85,16 @@ class TplNoWaitEngine final : public BatchEngine {
   const storage::ReadView* base_;
   uint32_t batch_size_;
   std::vector<Slot> slots_;
+  /// Guards locks_, overlay_ and order_ (the lock-controller critical
+  /// section). Held while invoking the abort callback — lock order:
+  /// engine mutex, then pool mutex.
+  mutable std::mutex mu_;
   std::unordered_map<Key, Lock> locks_;
   std::unordered_map<Key, Value> overlay_;  // Committed within the batch.
   std::vector<TxnSlot> order_;
-  uint32_t committed_ = 0;
-  uint64_t total_aborts_ = 0;
+  /// Atomic so progress checks never block (batch_engine.h contract).
+  std::atomic<uint32_t> committed_{0};
+  std::atomic<uint64_t> total_aborts_{0};
   std::function<void(TxnSlot)> on_abort_;
 };
 

@@ -43,9 +43,38 @@ struct TxnRecord {
 /// Engines report *all* restarts (self-aborts and aborts inflicted by other
 /// transactions) through the abort callback; that callback is the single
 /// re-queue path for the executor pool.
+///
+/// Thread-safety contract (ThreadExecutorPool). An engine that returns
+/// true from SupportsConcurrentExecutors() promises, for the duration of
+/// one batch:
+///
+///  1. Begin/Read/Write/Emit/Finish may be called concurrently from
+///     multiple executor threads, provided each *slot* is operated on by
+///     at most one thread at a time (the pool pins a slot to one worker
+///     per attempt). The engine synchronizes cross-slot shared state
+///     internally — this is the real critical section the sim pool models
+///     as engine_serial_cost.
+///  2. AllCommitted / committed_count / total_aborts are safe to call
+///     from any thread at any time and must not block on locks that are
+///     held while invoking the abort callback (use atomics).
+///  3. The abort callback may be invoked on any executor thread, with
+///     engine-internal locks held. Callbacks must therefore not re-enter
+///     the engine; the pools only touch their own queue state (lock
+///     order: engine lock, then pool lock).
+///  4. SerializationOrder / ExtractRecord / FinalWrites are only called
+///     after AllCommitted() with all executors quiescent, and need no
+///     synchronization.
+///
+/// Engines that return false (the default) are only ever driven by a
+/// single thread — the sim pool, or the thread pool with one worker.
 class BatchEngine {
  public:
   virtual ~BatchEngine() = default;
+
+  /// True when the engine's operations may be called from concurrent
+  /// executor threads per the contract above. ThreadExecutorPool refuses
+  /// to run an engine with more than one worker unless this is true.
+  virtual bool SupportsConcurrentExecutors() const { return false; }
 
   /// Registers the re-queue callback. Must be set before execution starts.
   virtual void SetAbortCallback(std::function<void(TxnSlot)> cb) = 0;

@@ -97,6 +97,7 @@ bool ConcurrencyController::GraphIsAcyclic() const {
 // --- Executor-facing interface ----------------------------------------------
 
 uint32_t ConcurrencyController::Begin(TxnSlot slot) {
+  std::lock_guard<std::mutex> lk(mu_);
   Node& node = nodes_[slot];
   assert(node.state == SlotState::kIdle);
   node.state = SlotState::kRunning;
@@ -105,6 +106,7 @@ uint32_t ConcurrencyController::Begin(TxnSlot slot) {
 
 Result<Value> ConcurrencyController::Read(TxnSlot slot, uint32_t incarnation,
                                           const Key& key) {
+  std::lock_guard<std::mutex> lk(mu_);
   Node& node = nodes_[slot];
   if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
     return Status::Aborted("stale incarnation");
@@ -219,6 +221,7 @@ std::optional<TxnSlot> ConcurrencyController::PlanRead(TxnSlot slot,
 
 Status ConcurrencyController::Write(TxnSlot slot, uint32_t incarnation,
                                     const Key& key, Value value) {
+  std::lock_guard<std::mutex> lk(mu_);
   Node& node = nodes_[slot];
   if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
     return Status::Aborted("stale incarnation");
@@ -302,6 +305,7 @@ Status ConcurrencyController::Write(TxnSlot slot, uint32_t incarnation,
 
 void ConcurrencyController::Emit(TxnSlot slot, uint32_t incarnation,
                                  Value value) {
+  std::lock_guard<std::mutex> lk(mu_);
   Node& node = nodes_[slot];
   if (node.incarnation != incarnation || node.state != SlotState::kRunning) {
     return;
@@ -310,6 +314,7 @@ void ConcurrencyController::Emit(TxnSlot slot, uint32_t incarnation,
 }
 
 Status ConcurrencyController::Finish(TxnSlot slot, uint32_t incarnation) {
+  std::lock_guard<std::mutex> lk(mu_);
   Node& node = nodes_[slot];
   if (node.incarnation != incarnation ||
       (node.state != SlotState::kRunning)) {

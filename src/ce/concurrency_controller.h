@@ -32,9 +32,11 @@
 #ifndef THUNDERBOLT_CE_CONCURRENCY_CONTROLLER_H_
 #define THUNDERBOLT_CE_CONCURRENCY_CONTROLLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -67,6 +69,12 @@ class ConcurrencyController final : public BatchEngine {
   void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
     on_abort_ = std::move(cb);
   }
+
+  /// CC's dependency graph is one shared structure — any operation can
+  /// reschedule or cascade-abort *other* slots — so concurrent executors
+  /// serialize on a single engine mutex (the real-world analogue of the
+  /// sim pool's engine_serial_cost, here covering the whole operation).
+  bool SupportsConcurrentExecutors() const override { return true; }
 
   // --- Executor-facing interface (BatchEngine) ----------------------------
 
@@ -174,11 +182,17 @@ class ConcurrencyController final : public BatchEngine {
 
   const storage::ReadView* base_;
   uint32_t batch_size_;
+  /// Guards the graph and every per-slot structure; held across each
+  /// Begin/Read/Write/Emit/Finish (including abort-callback invocations —
+  /// lock order: engine mutex, then pool mutex).
+  mutable std::mutex mu_;
   std::vector<Node> nodes_;
   std::unordered_map<Key, KeyIndex> key_index_;
   std::vector<TxnSlot> order_;
-  uint32_t committed_count_ = 0;
-  uint64_t total_aborts_ = 0;
+  /// Atomic so progress checks never block on mu_ (thread-safety contract
+  /// point 2 in batch_engine.h).
+  std::atomic<uint32_t> committed_count_{0};
+  std::atomic<uint64_t> total_aborts_{0};
   std::function<void(TxnSlot)> on_abort_;
 };
 

@@ -1,0 +1,26 @@
+#include "ce/executor_pool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/sim_executor_pool.h"
+#include "ce/thread_executor_pool.h"
+
+namespace thunderbolt::ce {
+
+std::unique_ptr<ExecutorPool> CreateExecutorPool(const std::string& name,
+                                                 uint32_t num_executors,
+                                                 ExecutionCostModel costs) {
+  if (name == "sim") {
+    return std::make_unique<SimExecutorPool>(num_executors, costs);
+  }
+  if (name == "thread") {
+    return std::make_unique<ThreadExecutorPool>(num_executors, costs);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ExecutorPoolNames() { return {"sim", "thread"}; }
+
+}  // namespace thunderbolt::ce

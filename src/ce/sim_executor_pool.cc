@@ -10,9 +10,6 @@ namespace thunderbolt::ce {
 
 namespace {
 
-/// Hard cap on total restarts, as a livelock guard.
-constexpr uint64_t kMaxRestartFactor = 1000;
-
 /// One logged operation result from a previous partial run.
 struct LoggedOp {
   bool is_read;
@@ -155,11 +152,22 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
   std::vector<uint32_t> consecutive_restarts(n, 0);
   std::vector<bool> needs_backoff(n, false);
   SimTime abort_event_time = start_time;
+  // Per-transaction livelock bound (the Run contract): one slot restarted
+  // more than kMaxRestartsPerTxn * n times *consecutively* fails the batch.
+  // consecutive_restarts resets when the slot finishes, so an abort
+  // ping-pong that keeps finishing-then-invalidating evades it; the global
+  // kMaxRestartFactor cap below backstops that pattern.
+  const uint64_t max_restarts_per_txn = kMaxRestartsPerTxn * n;
+  TxnSlot livelocked_slot = kRootSlot;
   engine.SetAbortCallback([&](TxnSlot slot) {
     runs[slot].log.clear();
     runs[slot].started = false;
     ++consecutive_restarts[slot];
     needs_backoff[slot] = true;
+    if (consecutive_restarts[slot] > max_restarts_per_txn &&
+        livelocked_slot == kRootSlot) {
+      livelocked_slot = slot;
+    }
     if (!queued[slot] && !pinned[slot]) {
       queued[slot] = true;
       ready.emplace_back(slot, abort_event_time);
@@ -234,6 +242,14 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
 
   assign();
   while (!engine.AllCommitted()) {
+    if (livelocked_slot != kRootSlot) {
+      return Status::Internal(
+          "executor pool livelock: txn slot " +
+          std::to_string(livelocked_slot) + " restarted " +
+          std::to_string(consecutive_restarts[livelocked_slot]) +
+          " times consecutively (per-txn bound " +
+          std::to_string(max_restarts_per_txn) + ")");
+    }
     if (engine.total_aborts() > max_restarts) {
       return Status::Internal("executor pool livelock: " +
                               std::to_string(engine.total_aborts()) +

@@ -5,7 +5,9 @@
 // dependency edges, lock conflicts, validation failures, aborts — are made
 // by the real engine algorithms; only the passage of time is simulated.
 // This reproduces the paper's executor-count sweeps (Figures 11/12) on a
-// single physical core.
+// single physical core, fully deterministically. For real wall-clock
+// parallelism see ThreadExecutorPool (thread_executor_pool.h); both
+// implement the common ExecutorPool interface (executor_pool.h).
 //
 // Interleaving model. Contracts are ordinary C++ functions that call
 // ContractContext synchronously, so they cannot be suspended mid-body.
@@ -28,9 +30,11 @@
 #define THUNDERBOLT_CE_SIM_EXECUTOR_POOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ce/batch_engine.h"
+#include "ce/executor_pool.h"
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -39,52 +43,24 @@
 
 namespace thunderbolt::ce {
 
-/// Virtual-time costs of the execution pipeline. Defaults are calibrated so
-/// a single executor sustains roughly the per-core SmallBank rate of the
-/// paper's testbed; see bench/README notes in EXPERIMENTS.md.
-struct ExecutionCostModel {
-  /// Contract logic + storage access per operation (executor-local).
-  SimTime op_cost = Micros(18);
-  /// Serialized engine critical section per operation (CC latch, lock
-  /// manager, or OCC verifier — the shared resource that caps scaling).
-  SimTime engine_serial_cost = Micros(2);
-  /// Charged to an executor when it begins (or restarts) a transaction.
-  SimTime start_cost = Micros(4);
-  /// Base penalty before re-running an aborted transaction. Consecutive
-  /// restarts of the same transaction back off exponentially with a
-  /// per-slot deterministic jitter, breaking the symmetric abort ping-pong
-  /// two crossing read-modify-writes would otherwise fall into.
-  SimTime restart_cost = Micros(10);
-  /// Cap exponent for the restart backoff (max factor 2^cap).
-  uint32_t restart_backoff_cap = 6;
-};
-
-/// Outcome of executing one batch.
-struct BatchExecutionResult {
-  std::vector<TxnRecord> records;      // Indexed by slot.
-  std::vector<TxnSlot> order;          // Serialization order.
-  storage::WriteBatch final_writes;    // To apply to storage.
-  uint64_t total_aborts = 0;           // Re-executions across the batch.
-  SimTime start_time = 0;
-  SimTime duration = 0;                // Virtual makespan of the batch.
-  Histogram commit_latency_us;         // Per-txn commit latency (virtual).
-};
-
-class SimExecutorPool {
+class SimExecutorPool final : public ExecutorPool {
  public:
   SimExecutorPool(uint32_t num_executors, ExecutionCostModel costs)
       : num_executors_(num_executors), costs_(costs) {}
 
   /// Executes `batch` through `engine` using the contracts in `registry`.
   /// `start_time` seeds the virtual clock (used when the pool runs inside
-  /// the cluster simulation). Returns Internal on livelock (a transaction
-  /// restarted more than kMaxRestartsPerTxn times the batch size).
+  /// the cluster simulation). Returns Internal on livelock: a transaction
+  /// restarted more than kMaxRestartsPerTxn times the batch size (per-slot
+  /// bound over *consecutive* restarts), or total restarts above
+  /// kMaxRestartFactor times the batch size (global backstop).
   Result<BatchExecutionResult> Run(BatchEngine& engine,
                                    const contract::Registry& registry,
                                    const std::vector<txn::Transaction>& batch,
-                                   SimTime start_time = 0);
+                                   SimTime start_time = 0) override;
 
-  uint32_t num_executors() const { return num_executors_; }
+  uint32_t num_executors() const override { return num_executors_; }
+  std::string name() const override { return "sim"; }
   const ExecutionCostModel& costs() const { return costs_; }
 
  private:

@@ -10,12 +10,28 @@ namespace thunderbolt {
 
 /// Collects double-valued samples and reports summary statistics. Keeps all
 /// samples (bench populations are modest); percentile queries sort lazily.
+///
+/// Single-writer, single-thread contract: not internally synchronized, and
+/// even const queries mutate — Percentile/Median/Min/Max sort the sample
+/// vector in place on first use — so concurrent readers race just like
+/// concurrent writers. Code that records from multiple threads keeps one
+/// Histogram per thread and combines them afterwards with Merge() (see
+/// ce/thread_executor_pool.cc).
 class Histogram {
  public:
   void Add(double v) {
     samples_.push_back(v);
     sorted_ = false;
     sum_ += v;
+  }
+
+  /// Appends all of `other`'s samples. Quiescent inputs only (see the
+  /// contract above).
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (!other.samples_.empty()) sorted_ = false;
+    sum_ += other.sum_;
   }
 
   void Clear() {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "ce/executor_pool.h"
+
 namespace thunderbolt::core {
 
 namespace {
@@ -52,6 +54,12 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
   if (shared_->canonical == nullptr) {
     std::fprintf(stderr, "Cluster: unknown store backend \"%s\"\n",
                  config_.store.c_str());
+    std::abort();
+  }
+  // Validate the pool selection before any node constructs with it.
+  if (ce::CreateExecutorPool(config_.pool, 1, config_.exec_costs) == nullptr) {
+    std::fprintf(stderr, "Cluster: unknown executor pool \"%s\"\n",
+                 config_.pool.c_str());
     std::abort();
   }
   workload_->InitStore(shared_->canonical.get());

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <string>
 
-#include "ce/sim_executor_pool.h"
+#include "ce/executor_pool.h"
 #include "common/types.h"
 #include "net/network.h"
 
@@ -31,6 +31,11 @@ struct ThunderboltConfig {
   uint32_t num_executors = 16;         // CE pool width.
   uint32_t num_validators = 16;        // Parallel validation width.
   ce::ExecutionCostModel exec_costs;   // Per-operation virtual costs.
+  /// Executor pool driving preplay, by ce::CreateExecutorPool name:
+  /// "sim" (default; deterministic virtual-time simulation — required for
+  /// determinism baselines) or "thread" (real std::thread workers,
+  /// wall-clock timings, nondeterministic interleavings).
+  std::string pool = "sim";
   /// Validation replays declared operations without scheduling overhead;
   /// per-op virtual cost (cheaper than first execution).
   SimTime validation_op_cost = Micros(5);

@@ -69,7 +69,8 @@ ThunderboltNode::ThunderboltNode(
       shared_(shared),
       metrics_(metrics),
       is_observer_(is_observer),
-      pool_(config.num_executors, config.exec_costs),
+      pool_(ce::CreateExecutorPool(config.pool, config.num_executors,
+                                   config.exec_costs)),
       cross_executor_(registry_.get(), config.exec_costs.op_cost,
                       /*num_workers=*/4, &workload->mapper()),
       owned_shard_(ShardOwnedBy(id, 0, config.n)) {
@@ -288,7 +289,7 @@ void ThunderboltNode::StartPreplay(Round round,
 
   SimTime duration = 0;
   if (batch > 0) {
-    auto result = pool_.Run(*engine, *registry_, singles, start);
+    auto result = pool_->Run(*engine, *registry_, singles, start);
     if (!result.ok()) {
       // Executor livelock would be a bug; surface loudly in sim runs.
       assert(false && "preplay failed");

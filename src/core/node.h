@@ -44,7 +44,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "ce/sim_executor_pool.h"
+#include "ce/executor_pool.h"
 #include "common/histogram.h"
 #include "common/simulator.h"
 #include "common/types.h"
@@ -195,7 +195,9 @@ class ThunderboltNode {
   const bool is_observer_;
 
   std::unique_ptr<dag::DagCore> dag_;
-  ce::SimExecutorPool pool_;
+  /// Preplay pool, selected by ThunderboltConfig::pool ("sim" keeps the
+  /// discrete-event simulation deterministic; "thread" runs real workers).
+  std::unique_ptr<ce::ExecutorPool> pool_;
   CrossShardExecutor cross_executor_;
 
   EpochId epoch_ = 0;

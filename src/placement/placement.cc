@@ -87,12 +87,14 @@ ShardId HashShard(const std::string& account, uint32_t num_shards) {
 
 void AccessTracker::RecordRemoteAccess(const std::string& account,
                                        ShardId home_shard) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++counts_[account][home_shard];
   ++total_;
 }
 
 std::vector<AccessTracker::AccountStats> AccessTracker::HottestRemote(
     size_t top_k) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<AccountStats> all;
   all.reserve(counts_.size());
   for (const auto& [account, by_shard] : counts_) {
@@ -113,8 +115,19 @@ std::vector<AccessTracker::AccountStats> AccessTracker::HottestRemote(
 }
 
 void AccessTracker::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   counts_.clear();
   total_ = 0;
+}
+
+uint64_t AccessTracker::total_remote_accesses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+bool AccessTracker::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counts_.empty();
 }
 
 // --- HashPlacement ----------------------------------------------------------

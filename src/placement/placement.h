@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,6 +82,10 @@ struct MigrationEvent {
 /// Rebalance can move a hot account toward the shard that pulls on it
 /// hardest. Aggregation is order-independent: any insertion order yields
 /// the same HottestRemote() ranking.
+///
+/// Internally synchronized: the tracker lives in the cluster's shared
+/// state, and with the thread executor pool commit-path bookkeeping can
+/// run concurrently with stats queries; every method locks `mu_`.
 class AccessTracker {
  public:
   /// Account was accessed by a transaction homed at `home_shard` while
@@ -99,11 +104,12 @@ class AccessTracker {
   /// regardless of recording order.
   std::vector<AccountStats> HottestRemote(size_t top_k) const;
 
-  uint64_t total_remote_accesses() const { return total_; }
-  bool empty() const { return counts_.empty(); }
+  uint64_t total_remote_accesses() const;
+  bool empty() const;
   void Clear();
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::unordered_map<ShardId, uint64_t>>
       counts_;
   uint64_t total_ = 0;

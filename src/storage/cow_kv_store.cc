@@ -275,7 +275,7 @@ uint64_t CowKVStore::ContentFingerprint() const {
 }
 
 StoreStats CowKVStore::Stats() const {
-  StoreStats stats = counters_;
+  StoreStats stats = counters_.ToStats();
   stats.backend = name();
   stats.live_keys = Count(root_);
   return stats;

@@ -53,7 +53,7 @@ class CowKVStore final : public KVStore {
 
  private:
   NodePtr root_;
-  mutable StoreStats counters_;
+  mutable StoreCounters counters_;
 };
 
 }  // namespace thunderbolt::storage

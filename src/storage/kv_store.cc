@@ -169,7 +169,7 @@ uint64_t MemKVStore::ContentFingerprint() const {
 }
 
 StoreStats MemKVStore::Stats() const {
-  StoreStats stats = counters_;
+  StoreStats stats = counters_.ToStats();
   stats.backend = name();
   stats.live_keys = map_.size();
   return stats;

@@ -33,6 +33,7 @@
 #ifndef THUNDERBOLT_STORAGE_KV_STORE_H_
 #define THUNDERBOLT_STORAGE_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -136,6 +137,51 @@ struct StoreStats {
   uint64_t forks = 0;        // Fork() calls.
 };
 
+/// Atomic twin of the StoreStats counter fields, used as the backends'
+/// internal counter storage. Get/GetOrDefault are const yet count, which
+/// makes the counters the one piece of store state mutated under
+/// concurrent readers (thread executor pool workers all read the base
+/// view); atomics keep that race-free without serializing reads.
+struct StoreCounters {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> snapshots{0};
+  std::atomic<uint64_t> forks{0};
+
+  // Copyable (atomics are not, by default) so stores keep their implicit
+  // copy/move — e.g. MemKVStore::Clone returning by value. Copying is only
+  // meaningful on quiescent stores.
+  StoreCounters() = default;
+  StoreCounters(const StoreCounters& other) { *this = other; }
+  StoreCounters& operator=(const StoreCounters& other) {
+    gets = other.gets.load(std::memory_order_relaxed);
+    puts = other.puts.load(std::memory_order_relaxed);
+    deletes = other.deletes.load(std::memory_order_relaxed);
+    batches = other.batches.load(std::memory_order_relaxed);
+    scans = other.scans.load(std::memory_order_relaxed);
+    snapshots = other.snapshots.load(std::memory_order_relaxed);
+    forks = other.forks.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Snapshot into the plain struct (`backend`/`live_keys` are filled in
+  /// by the store's Stats()).
+  StoreStats ToStats() const {
+    StoreStats stats;
+    stats.gets = gets.load(std::memory_order_relaxed);
+    stats.puts = puts.load(std::memory_order_relaxed);
+    stats.deletes = deletes.load(std::memory_order_relaxed);
+    stats.batches = batches.load(std::memory_order_relaxed);
+    stats.scans = scans.load(std::memory_order_relaxed);
+    stats.snapshots = snapshots.load(std::memory_order_relaxed);
+    stats.forks = forks.load(std::memory_order_relaxed);
+    return stats;
+  }
+};
+
 /// Abstract storage engine interface. Implementations must apply
 /// WriteBatches atomically with respect to snapshots: a snapshot taken
 /// before Write() observes none of the batch.
@@ -213,7 +259,7 @@ class MemKVStore final : public KVStore {
 
  private:
   std::unordered_map<Key, VersionedValue> map_;
-  mutable StoreStats counters_;
+  mutable StoreCounters counters_;
 };
 
 /// The one content-digest scheme every backend's ContentFingerprint must

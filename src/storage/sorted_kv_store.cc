@@ -74,7 +74,7 @@ uint64_t SortedKVStore::ContentFingerprint() const {
 }
 
 StoreStats SortedKVStore::Stats() const {
-  StoreStats stats = counters_;
+  StoreStats stats = counters_.ToStats();
   stats.backend = name();
   stats.live_keys = map_.size();
   return stats;

@@ -34,7 +34,7 @@ class SortedKVStore final : public KVStore {
 
  private:
   std::map<Key, VersionedValue> map_;
-  mutable StoreStats counters_;
+  mutable StoreCounters counters_;
 };
 
 }  // namespace thunderbolt::storage
