@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Ablation", "P4 immediate conversion vs 5.4 Skip-block deferral",
       "conversion mode sustains throughput via the OE path; skip mode "
@@ -39,9 +40,11 @@ int main(int argc, char** argv) {
       cfg.seed = 311;
       placement.ApplyTo(&cfg);
       store.ApplyTo(&cfg);
+      obs.ApplyTo(&cfg);
       options.cross_shard_ratio = pct;
       core::Cluster cluster(cfg, workload_name, options);
       core::ClusterResult r = cluster.Run(duration);
+      obs.Capture(cluster.obs());
       table.Row({use_skip ? "skip-5.4" : "convert-P4",
                  bench::Fmt(pct * 100, 0), bench::Fmt(r.throughput_tps, 0),
                  bench::Fmt(r.avg_latency_s, 2),
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
                  bench::FmtInt(r.conversions), bench::FmtInt(r.skip_blocks)});
     }
   }
-  return bench::WriteTablesJsonIfRequested(argc, argv, "ablation_skip");
+  return bench::WriteTablesJsonIfRequested(argc, argv, "ablation_skip") |
+         obs.WriteIfRequested();
 }

@@ -35,7 +35,8 @@ struct Measurement {
 Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
                       double read_ratio, uint32_t runs,
                       const bench::StoreSelection& store_sel,
-                      const bench::PoolSelection& pool_sel) {
+                      const bench::PoolSelection& pool_sel,
+                      obs::Observability* obs) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = 0.85;
@@ -47,6 +48,7 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
   auto registry = contract::Registry::CreateDefault();
 
   std::unique_ptr<ce::ExecutorPool> pool = pool_sel.Create(executors);
+  pool->SetObs(ce::PoolObsContext{obs->tracer(), &obs->metrics(), 0});
   SimTime total_time = 0;
   uint64_t total_txns = 0, total_aborts = 0;
   double latency_sum = 0;
@@ -88,7 +90,8 @@ Measurement RunConfig(int kind, uint32_t executors, uint32_t batch_size,
 
 void RunWorkload(const char* title, double read_ratio, uint32_t runs,
                  const bench::StoreSelection& store_sel,
-                 const bench::PoolSelection& pool_sel) {
+                 const bench::PoolSelection& pool_sel,
+                 obs::Observability* obs) {
   std::printf("\n--- %s ---\n", title);
   bench::Table table({"engine", "batch", "executors", "tput(tps)",
                       "latency(s)", "re-exec/txn"},
@@ -99,7 +102,7 @@ void RunWorkload(const char* title, double read_ratio, uint32_t runs,
     for (uint32_t batch : {300u, 500u}) {
       for (uint32_t executors : {1u, 4u, 8u, 12u, 16u}) {
         Measurement m = RunConfig(engine.kind, executors, batch,
-                                  read_ratio, runs, store_sel, pool_sel);
+                                  read_ratio, runs, store_sel, pool_sel, obs);
         table.Row({engine.name, bench::FmtInt(batch),
                    bench::FmtInt(executors), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4), bench::Fmt(m.re_executions, 3)});
@@ -116,6 +119,10 @@ int main(int argc, char** argv) {
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   const bench::PoolSelection pool = bench::PoolFromFlags(argc, argv);
+  bench::ObsSelection obs_sel = bench::ObsFromFlags(argc, argv);
+  // One bundle for the whole sweep: batch benches have no Cluster, so the
+  // pools record into this standalone bundle directly.
+  std::unique_ptr<obs::Observability> obs = obs_sel.MakeBundle();
   bench::Banner(
       "Figure 11", "CE vs OCC vs 2PL-No-Wait across executor counts",
       "throughput rises then plateaus (~12 executors for Thunderbolt/OCC); "
@@ -124,7 +131,10 @@ int main(int argc, char** argv) {
   if (pool.name != "sim") {
     std::printf("pool: %s (wall-clock timings)\n", pool.name.c_str());
   }
-  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs, store, pool);
-  RunWorkload("(b) update-only, Pr = 0", 0.0, runs, store, pool);
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig11");
+  RunWorkload("(a) read-write balanced, Pr = 0.5", 0.5, runs, store, pool,
+              obs.get());
+  RunWorkload("(b) update-only, Pr = 0", 0.0, runs, store, pool, obs.get());
+  obs_sel.Capture(*obs);
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig11") |
+         obs_sel.WriteIfRequested();
 }

@@ -26,7 +26,8 @@ struct Measurement {
 Measurement RunConfig(int kind, uint32_t batch_size, double theta,
                       double read_ratio, uint32_t runs,
                       const bench::StoreSelection& store_sel,
-                      const bench::PoolSelection& pool_sel) {
+                      const bench::PoolSelection& pool_sel,
+                      obs::Observability* obs) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = theta;
@@ -38,6 +39,7 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
   auto registry = contract::Registry::CreateDefault();
   // 12 executors: the Figure 11 plateau point.
   std::unique_ptr<ce::ExecutorPool> pool = pool_sel.Create(12);
+  pool->SetObs(ce::PoolObsContext{obs->tracer(), &obs->metrics(), 0});
 
   SimTime total_time = 0;
   uint64_t total_txns = 0;
@@ -75,7 +77,7 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
 const char* kEngineNames[] = {"Thunderbolt", "OCC", "2PL-No-Wait"};
 
 void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
-                const bench::PoolSelection& pool) {
+                const bench::PoolSelection& pool, obs::Observability* obs) {
   std::printf("\n--- (a,b) theta sweep, Pr = 0.5 ---\n");
   bench::Table table(
       {"engine", "batch", "theta", "tput(tps)", "latency(s)"},
@@ -83,7 +85,8 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double theta : {0.75, 0.8, 0.85, 0.9}) {
-        Measurement m = RunConfig(kind, batch, theta, 0.5, runs, store, pool);
+        Measurement m =
+            RunConfig(kind, batch, theta, 0.5, runs, store, pool, obs);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(theta, 2), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -93,14 +96,16 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
 }
 
 void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store,
-                    const bench::PoolSelection& pool) {
+                    const bench::PoolSelection& pool,
+                    obs::Observability* obs) {
   std::printf("\n--- (c,d) Pr sweep, theta = 0.85 ---\n");
   bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"},
                      "read_ratio_sweep");
   for (int kind = 0; kind < 3; ++kind) {
     for (uint32_t batch : {300u, 500u}) {
       for (double pr : {1.0, 0.8, 0.5, 0.1, 0.0}) {
-        Measurement m = RunConfig(kind, batch, 0.85, pr, runs, store, pool);
+        Measurement m =
+            RunConfig(kind, batch, 0.85, pr, runs, store, pool, obs);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(pr, 1), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -117,6 +122,10 @@ int main(int argc, char** argv) {
   const uint32_t runs = bench::QuickMode(argc, argv) ? 4 : 20;
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
   const bench::PoolSelection pool = bench::PoolFromFlags(argc, argv);
+  bench::ObsSelection obs_sel = bench::ObsFromFlags(argc, argv);
+  // One bundle for the whole sweep: batch benches have no Cluster, so the
+  // pools record into this standalone bundle directly.
+  std::unique_ptr<obs::Observability> obs = obs_sel.MakeBundle();
   bench::Banner(
       "Figure 12", "CE under varying contention (theta) and read ratio (Pr)",
       "comparable Thunderbolt/OCC at theta=0.75; OCC declines sharply by "
@@ -126,7 +135,9 @@ int main(int argc, char** argv) {
   if (pool.name != "sim") {
     std::printf("pool: %s (wall-clock timings)\n", pool.name.c_str());
   }
-  ThetaSweep(runs, store, pool);
-  ReadRatioSweep(runs, store, pool);
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig12");
+  ThetaSweep(runs, store, pool, obs.get());
+  ReadRatioSweep(runs, store, pool, obs.get());
+  obs_sel.Capture(*obs);
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig12") |
+         obs_sel.WriteIfRequested();
 }

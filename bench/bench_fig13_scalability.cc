@@ -22,8 +22,8 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
               const std::string& workload_name,
               const workload::WorkloadOptions& options,
               const bench::PlacementSelection& placement,
-              const bench::StoreSelection& store, SimTime warmup,
-              SimTime duration) {
+              const bench::StoreSelection& store, bench::ObsSelection* obs,
+              SimTime warmup, SimTime duration) {
   core::ThunderboltConfig cfg;
   cfg.n = n;
   cfg.mode = mode;
@@ -34,10 +34,12 @@ RunOut RunOne(core::ExecutionMode mode, uint32_t n, bool wan,
   cfg.seed = 77;
   placement.ApplyTo(&cfg);
   store.ApplyTo(&cfg);
+  obs->ApplyTo(&cfg);
 
   core::Cluster cluster(cfg, workload_name, options);
   cluster.Run(warmup);  // Excluded: pipeline fill / first commits.
   core::ClusterResult r = cluster.Run(duration);
+  obs->Capture(cluster.obs());
   return RunOut{r.throughput_tps, r.avg_latency_s};
 }
 
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 13", "throughput & latency vs replica count (LAN and WAN)",
       "Thunderbolt scales with replicas and beats Tusk by ~50x at 64 "
@@ -82,7 +85,7 @@ int main(int argc, char** argv) {
         SimTime duration = quick ? Seconds(n >= 64 ? 2 : 3)
                                  : Seconds(n >= 32 ? 3 : 5);
         RunOut out = RunOne(modes[mi], n, wan, workload_name, options,
-                            placement, store, warmup, duration);
+                            placement, store, &obs, warmup, duration);
         table.Row({mode_names[mi], bench::FmtInt(n), bench::Fmt(out.tps, 0),
                    bench::Fmt(out.latency_s, 2)});
         if (!wan && n == 64) {
@@ -98,5 +101,6 @@ int main(int argc, char** argv) {
         "%.1fx (paper: ~50x)\n",
         tb64 / tusk64);
   }
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig13");
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig13") |
+         obs.WriteIfRequested();
 }

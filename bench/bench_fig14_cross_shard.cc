@@ -16,8 +16,8 @@ void RunSweep(core::ExecutionMode mode, const char* name,
               const std::string& workload_name,
               workload::WorkloadOptions options,
               const bench::PlacementSelection& placement,
-              const bench::StoreSelection& store, SimTime duration,
-              bench::Table& table) {
+              const bench::StoreSelection& store, bench::ObsSelection* obs,
+              SimTime duration, bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
     cfg.n = 16;
@@ -26,9 +26,11 @@ void RunSweep(core::ExecutionMode mode, const char* name,
     cfg.seed = 90;
     placement.ApplyTo(&cfg);
     store.ApplyTo(&cfg);
+    obs->ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
+    obs->Capture(cluster.obs());
     const uint64_t committed = r.committed_single + r.committed_cross;
     const double cross_frac =
         committed == 0
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 14", "cross-shard transaction ratio sweep on 16 replicas",
       "both Thunderbolt variants decline as P grows; at P=8% Thunderbolt "
@@ -69,10 +72,11 @@ int main(int argc, char** argv) {
   bench::Table table({"system", "cross%", "tput(tps)", "latency(s)",
                       "single", "cross", "crossfrac", "converted", "skips"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", workload_name,
-           options, placement, store, duration, table);
+           options, placement, store, &obs, duration, table);
   RunSweep(core::ExecutionMode::kThunderboltOcc, "Thunderbolt-OCC",
-           workload_name, options, placement, store, duration, table);
+           workload_name, options, placement, store, &obs, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", workload_name, options,
-           placement, store, duration, table);
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig14");
+           placement, store, &obs, duration, table);
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig14") |
+         obs.WriteIfRequested();
 }

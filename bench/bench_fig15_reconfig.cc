@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 15", "reconfiguration period K' sweep on 8 replicas",
       "throughput lower at K'=10 (frequent DAG transitions discard the "
@@ -36,8 +37,10 @@ int main(int argc, char** argv) {
     cfg.seed = 55;
     placement.ApplyTo(&cfg);
     store.ApplyTo(&cfg);
+    obs.ApplyTo(&cfg);
     core::Cluster cluster(cfg, workload_name, options);
     core::ClusterResult r = cluster.Run(duration);
+    obs.Capture(cluster.obs());
     table.Row({bench::FmtInt(k_prime), bench::Fmt(r.throughput_tps, 0),
                bench::Fmt(r.avg_latency_s, 2),
                bench::FmtInt(r.reconfigurations),
@@ -56,5 +59,6 @@ int main(int argc, char** argv) {
                             "migrations");
     for (const auto& row : migration_rows) migrations.Row(row);
   }
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig15");
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig15") |
+         obs.WriteIfRequested();
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 16", "per-100-round commit runtime across reconfigurations",
       "runtime per round stays in a tight band (paper: 0.07-0.1 s) with no "
@@ -30,8 +31,10 @@ int main(int argc, char** argv) {
   cfg.seed = 65;
   placement.ApplyTo(&cfg);
   store.ApplyTo(&cfg);
+  obs.ApplyTo(&cfg);
   core::Cluster cluster(cfg, workload_name, options);
   core::ClusterResult r = cluster.Run(duration);
+  obs.Capture(cluster.obs());
 
   bench::Table table({"commits", "avg-round-time(s)"});
   const auto& times = r.commit_times;
@@ -48,5 +51,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nReconfigurations during the run: %llu\n",
               static_cast<unsigned long long>(r.reconfigurations));
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig16");
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig16") |
+         obs.WriteIfRequested();
 }

@@ -12,8 +12,8 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
               const std::string& workload_name,
               workload::WorkloadOptions options,
               const bench::PlacementSelection& placement,
-              const bench::StoreSelection& store, SimTime duration,
-              bench::Table& table) {
+              const bench::StoreSelection& store, bench::ObsSelection* obs,
+              SimTime duration, bench::Table& table) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
     cfg.n = 16;
@@ -22,6 +22,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
     cfg.seed = 101;
     placement.ApplyTo(&cfg);
     store.ApplyTo(&cfg);
+    obs->ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
     // Crash the highest-numbered replicas shortly after startup (the
@@ -30,6 +31,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
       cluster.CrashReplicaAt(15 - i, Millis(400));
     }
     core::ClusterResult r = cluster.Run(duration);
+    obs->Capture(cluster.obs());
     table.Row({name, bench::FmtInt(failures), bench::Fmt(pct * 100, 0),
                bench::Fmt(r.throughput_tps, 0),
                bench::Fmt(r.avg_latency_s, 2),
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 17", "replica failures (f = 1, 2) on 16 replicas",
       "Thunderbolt keeps committing with crashed replicas: throughput "
@@ -62,12 +65,13 @@ int main(int argc, char** argv) {
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
-           workload_name, options, placement, store, duration, table);
+           workload_name, options, placement, store, &obs, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
-           workload_name, options, placement, store, duration, table);
+           workload_name, options, placement, store, &obs, duration, table);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
-           workload_name, options, placement, store, duration, table);
+           workload_name, options, placement, store, &obs, duration, table);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
-           placement, store, duration, table);
-  return bench::WriteTablesJsonIfRequested(argc, argv, "fig17");
+           placement, store, &obs, duration, table);
+  return bench::WriteTablesJsonIfRequested(argc, argv, "fig17") |
+         obs.WriteIfRequested();
 }

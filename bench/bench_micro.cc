@@ -10,6 +10,7 @@
 #include "contract/contract.h"
 #include "core/validator.h"
 #include "crypto/signature.h"
+#include "obs/trace.h"
 #include "workload/smallbank_workload.h"
 
 namespace thunderbolt {
@@ -210,6 +211,41 @@ void BM_WorkloadGen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadGen);
+
+void BM_TraceDisabled(benchmark::State& state) {
+  // The cost every instrumentation site pays when tracing is off: one
+  // virtual `enabled()` call and a branch — the TraceEvent is never even
+  // constructed (the obs ISSUE's "disabled overhead is one branch" bar).
+  obs::Tracer* tracer = obs::NullTracerInstance();
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    if (tracer->enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kTxnCommit;
+      e.ts_us = ++ts;
+      tracer->Record(e);
+    }
+    benchmark::DoNotOptimize(tracer);
+  }
+}
+BENCHMARK(BM_TraceDisabled);
+
+void BM_TraceRecord(benchmark::State& state) {
+  // The enabled path: construct the event and append it to the mutex-
+  // guarded ring (steady-state, i.e. mostly overwriting old slots).
+  obs::RingTracer tracer(1 << 12);
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    if (tracer.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kTxnCommit;
+      e.ts_us = ++ts;
+      tracer.Record(e);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecord);
 
 void BM_CcBatch(benchmark::State& state) {
   // Real-time cost of executing one SmallBank batch through the CC with

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/obs.h"
 #include "placement/placement.h"
 #include "storage/kv_store.h"
 #include "workload/workload.h"
@@ -364,6 +365,98 @@ inline PoolSelection PoolFromFlags(int argc, char** argv) {
       std::exit(2);
     }
     selection.name = name;
+  }
+  return selection;
+}
+
+/// The observability artifacts a bench binary was asked to produce.
+/// `--trace-out <path>` enables lifecycle tracing (Chrome trace-event JSON,
+/// loadable at ui.perfetto.dev); `--metrics-out <path>` snapshots the
+/// metrics registry as JSON. `--trace-capacity <n>` bounds the ring.
+///
+/// Sweeping drivers call Capture() once per cluster/bundle; the artifacts
+/// describe the LAST captured run (each capture replaces the previous one
+/// — a sweep produces one representative trace, not a concatenation).
+struct ObsSelection {
+  std::string trace_path;
+  std::string metrics_path;
+  uint32_t trace_capacity = 1u << 16;
+
+  bool requested() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+  bool trace() const { return !trace_path.empty(); }
+
+  void ApplyTo(core::ThunderboltConfig* config) const {
+    config->obs.trace = trace();
+    config->obs.trace_capacity = trace_capacity;
+  }
+
+  /// Builds a standalone bundle for non-cluster drivers (batch benches
+  /// install it on their pool via SetObs).
+  std::unique_ptr<obs::Observability> MakeBundle() const {
+    obs::ObsOptions options;
+    options.trace = trace();
+    options.trace_capacity = trace_capacity;
+    return std::make_unique<obs::Observability>(options);
+  }
+
+  /// Snapshots `obs`'s sinks; safe to call after the owning cluster dies.
+  void Capture(const obs::Observability& obs) {
+    metrics_json_ = obs.metrics().ToJson();
+    trace_json_ = obs.ring() != nullptr ? obs.ring()->ToChromeJson() : "";
+  }
+
+  /// Writes the captured artifacts to the requested paths. Returns 0, or
+  /// 1 when a requested file could not be written (or nothing was
+  /// captured).
+  int WriteIfRequested() const {
+    int rc = 0;
+    rc |= WriteOne(trace_path, trace_json_, "trace");
+    rc |= WriteOne(metrics_path, metrics_json_, "metrics");
+    return rc;
+  }
+
+ private:
+  static int WriteOne(const std::string& path, const std::string& body,
+                      const char* what) {
+    if (path.empty()) return 0;
+    if (body.empty()) {
+      std::fprintf(stderr, "no %s captured for %s\n", what, path.c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", path.c_str());
+      return 1;
+    }
+    const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = (std::fclose(f) == 0) && written == body.size();
+    if (!ok) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("%s written to %s\n", what, path.c_str());
+    return 0;
+  }
+
+  std::string trace_json_;
+  std::string metrics_json_;
+};
+
+/// Shared `--trace-out` / `--metrics-out` / `--trace-capacity` handling.
+inline ObsSelection ObsFromFlags(int argc, char** argv) {
+  ObsSelection selection;
+  selection.trace_path = FlagValue(argc, argv, "trace-out");
+  selection.metrics_path = FlagValue(argc, argv, "metrics-out");
+  const std::string cap = FlagValue(argc, argv, "trace-capacity");
+  if (!cap.empty()) {
+    selection.trace_capacity =
+        static_cast<uint32_t>(std::strtoul(cap.c_str(), nullptr, 10));
+    if (selection.trace_capacity == 0) {
+      std::fprintf(stderr, "invalid --trace-capacity \"%s\"\n", cap.c_str());
+      std::exit(2);
+    }
   }
   return selection;
 }

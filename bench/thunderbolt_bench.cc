@@ -26,6 +26,11 @@
 //   --placement-params <k=v,...>  policy parameters          []
 //   --params <k=v,...>       extra WorkloadOptions overrides []
 //   --json <path>            output path          [thunderbolt_bench.json]
+//   --trace-out <path>       write a Chrome trace of the sweep's last cell
+//                            (load at ui.perfetto.dev)          [disabled]
+//   --metrics-out <path>     write the metrics-registry JSON snapshot
+//                            (pool.*, engine abort reasons)     [disabled]
+//   --trace-capacity <n>     trace ring size in events          [65536]
 //   --smoke                  shrink everything for CI
 //   --list                   print registered workloads and exit
 //   --engine-list            print registered engines and exit
@@ -42,6 +47,7 @@
 // tps/latency are wall-clock numbers; with the default sim pool they are
 // virtual time. The two are not comparable — see EXPERIMENTS.md. The
 // "serial" engine always executes inline regardless of --pool.
+#include <array>
 #include <cinttypes>
 #include <memory>
 #include <string>
@@ -75,6 +81,7 @@ struct DriverConfig {
   uint32_t shards = 1;
   bench::PlacementSelection placement;
   bench::StoreSelection store;
+  bench::ObsSelection obs;
   /// Raw `--params` overrides, applied after the flag-derived fields.
   std::string params;
   std::string json_path = "thunderbolt_bench.json";
@@ -89,9 +96,12 @@ struct SweepResult {
   double theta = 0;
   uint64_t txns = 0;
   uint64_t aborts = 0;
+  /// `aborts` by cause, indexed by obs::AbortReason.
+  std::array<uint64_t, obs::kNumAbortReasons> abort_reasons{};
   double tps = 0;
   double p50_latency_us = 0;
   double p99_latency_us = 0;
+  double p999_latency_us = 0;
   double re_execs_per_txn = 0;
   /// Fraction of generated transactions classified cross-shard by the
   /// placement policy (0 with --shards 1).
@@ -117,7 +127,8 @@ Result<SweepResult> RunCell(const DriverConfig& config,
                             const std::string& workload_name,
                             const std::string& engine_name,
                             const std::string& pool_name, uint32_t threads,
-                            uint32_t batch_size, double theta) {
+                            uint32_t batch_size, double theta,
+                            obs::Observability* obs) {
   workload::WorkloadOptions options;
   options.num_records = config.records;
   options.theta = theta;
@@ -149,6 +160,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   if (pool == nullptr) {
     return Status::NotFound("unknown executor pool: " + pool_name);
   }
+  pool->SetObs(ce::PoolObsContext{obs->tracer(), &obs->metrics(), 0});
   const SimTime serial_op_cost = ce::ExecutionCostModel{}.op_cost;
 
   SweepResult out;
@@ -202,6 +214,9 @@ Result<SweepResult> RunCell(const DriverConfig& config,
       THUNDERBOLT_RETURN_NOT_OK(store->Write(r.final_writes));
       total_time += r.duration;
       out.aborts += r.total_aborts;
+      for (size_t reason = 0; reason < obs::kNumAbortReasons; ++reason) {
+        out.abort_reasons[reason] += r.abort_reasons[reason];
+      }
       for (double sample : r.commit_latency_us.samples()) {
         latency_us.Add(sample);
       }
@@ -213,6 +228,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
                 : static_cast<double>(out.txns) / ToSeconds(total_time);
   out.p50_latency_us = latency_us.Percentile(50.0);
   out.p99_latency_us = latency_us.Percentile(99.0);
+  out.p999_latency_us = latency_us.Percentile(99.9);
   out.re_execs_per_txn =
       out.txns == 0 ? 0
                     : static_cast<double>(out.aborts) /
@@ -246,14 +262,25 @@ bool WriteResultsJson(const std::string& path,
         "\"pool\": \"%s\", \"threads\": %u, "
         "\"batch_size\": %u, \"theta\": %.3f, \"txns\": %" PRIu64
         ", \"tps\": %.1f, \"p50_latency_us\": %.1f, \"p99_latency_us\": "
-        "%.1f, \"aborts\": %" PRIu64 ", \"re_execs_per_txn\": %.4f, "
-        "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
+        "%.1f, \"p999_latency_us\": %.1f, \"aborts\": %" PRIu64
+        ", \"abort_reasons\": {",
         i == 0 ? "" : ",", bench::JsonEscape(r.workload).c_str(),
         bench::JsonEscape(r.engine).c_str(), bench::JsonEscape(r.pool).c_str(),
         r.threads, r.batch_size, r.theta, r.txns,
-        r.tps, r.p50_latency_us, r.p99_latency_us, r.aborts,
-        r.re_execs_per_txn, r.cross_frac,
-        r.invariant_ok ? "true" : "false");
+        r.tps, r.p50_latency_us, r.p99_latency_us, r.p999_latency_us,
+        r.aborts);
+    // kNone (index 0) never reaches the callback; emit the real causes.
+    for (size_t reason = 1; reason < obs::kNumAbortReasons; ++reason) {
+      std::fprintf(
+          f, "%s\"%s\": %" PRIu64, reason == 1 ? "" : ", ",
+          obs::AbortReasonName(static_cast<obs::AbortReason>(reason)),
+          r.abort_reasons[reason]);
+    }
+    std::fprintf(
+        f,
+        "}, \"re_execs_per_txn\": %.4f, "
+        "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
+        r.re_execs_per_txn, r.cross_frac, r.invariant_ok ? "true" : "false");
   }
   std::fprintf(f, "%s\n  ]\n}\n", results.empty() ? "" : "\n");
   std::fclose(f);
@@ -353,6 +380,7 @@ DriverConfig ParseFlags(int argc, char** argv) {
   }
   config.placement = bench::PlacementFromFlags(argc, argv);
   config.store = bench::StoreFromFlags(argc, argv);
+  config.obs = bench::ObsFromFlags(argc, argv);
   config.params = bench::FlagValue(argc, argv, "params");
   // The driver's own flags/sweep own these axes; a --params override would
   // be clobbered per cell and mislabel the JSON series.
@@ -416,19 +444,24 @@ int main(int argc, char** argv) {
                 config.placement.policy.c_str(), config.store.name.c_str());
   }
   bench::Table table({"workload", "engine", "pool", "thr", "batch", "theta",
-                      "tput(tps)", "p50(us)", "p99(us)", "re-exec/txn",
-                      "crossfrac", "invariant"},
+                      "tput(tps)", "p50(us)", "p99(us)", "p999(us)",
+                      "re-exec/txn", "crossfrac", "invariant"},
                      "sweep");
   std::vector<SweepResult> results;
   bool all_ok = true;
+  // One bundle for the whole sweep; each cell's pool re-records into it,
+  // so --trace-out captures the final cell (ring keeps the newest events)
+  // and --metrics-out aggregates pool.* across the entire sweep.
+  std::unique_ptr<obs::Observability> obs = config.obs.MakeBundle();
   for (const std::string& workload_name : config.workloads) {
     for (const std::string& engine_name : config.engines) {
       for (const std::string& pool_name : config.pools) {
         for (uint32_t threads : config.threads) {
           for (uint32_t batch_size : config.batch_sizes) {
             for (double theta : config.thetas) {
-              auto cell = RunCell(config, workload_name, engine_name,
-                                  pool_name, threads, batch_size, theta);
+              auto cell =
+                  RunCell(config, workload_name, engine_name, pool_name,
+                          threads, batch_size, theta, obs.get());
               if (!cell.ok()) {
                 std::fprintf(stderr, "%s/%s/%s t%u b%u theta %.2f failed: %s\n",
                              workload_name.c_str(), engine_name.c_str(),
@@ -445,6 +478,7 @@ int main(int argc, char** argv) {
                          bench::Fmt(cell->theta, 2), bench::Fmt(cell->tps, 0),
                          bench::Fmt(cell->p50_latency_us, 1),
                          bench::Fmt(cell->p99_latency_us, 1),
+                         bench::Fmt(cell->p999_latency_us, 1),
                          bench::Fmt(cell->re_execs_per_txn, 3),
                          bench::Fmt(cell->cross_frac, 3),
                          cell->invariant_ok ? "ok" : "VIOLATED"});
@@ -460,5 +494,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%zu results written to %s\n", results.size(),
               config.json_path.c_str());
+  config.obs.Capture(*obs);
+  if (config.obs.WriteIfRequested() != 0) return 1;
   return all_ok ? 0 : 1;
 }

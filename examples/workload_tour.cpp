@@ -3,13 +3,16 @@
 // 4-replica cluster, printing throughput and the invariant verdict. The
 // smallest demonstration of the pluggable workload framework: nothing
 // here names a concrete workload — new registrations show up
-// automatically, in both legs.
+// automatically, in all legs. The final leg re-runs one cluster with
+// lifecycle tracing enabled and summarizes the captured events (the
+// smallest demonstration of ThunderboltConfig::obs).
 #include <cstdio>
 
 #include "ce/concurrency_controller.h"
 #include "ce/sim_executor_pool.h"
 #include "contract/contract.h"
 #include "core/cluster.h"
+#include "obs/obs.h"
 #include "workload/workload.h"
 
 int main() {
@@ -92,5 +95,48 @@ int main() {
     }
   }
   std::printf("\nAll workloads ran sharded on the cluster.\n");
+
+  // Leg 3: the same cluster with tracing on. Every committed single-shard
+  // transaction leaves a lifecycle span in the ring; the export is the
+  // Chrome trace-event JSON the benches write via --trace-out.
+  {
+    core::ThunderboltConfig cfg;
+    cfg.n = 4;
+    cfg.batch_size = 50;
+    cfg.proposal_prep_cost = Millis(5);
+    cfg.obs.trace = true;
+    workload::WorkloadOptions cluster_options = options;
+    cluster_options.cross_shard_ratio = 0.1;
+    core::Cluster cluster(cfg, "smallbank", cluster_options);
+    core::ClusterResult r = cluster.Run(Seconds(2));
+    const obs::RingTracer* ring = cluster.obs().ring();
+    if (ring == nullptr) {
+      std::fprintf(stderr, "tracing was enabled but no ring exists\n");
+      return 1;
+    }
+    uint64_t spans = 0, restarts = 0, commits = 0;
+    for (const obs::TraceEvent& e : ring->Snapshot()) {
+      spans += e.kind == obs::EventKind::kTxnSpan ? 1 : 0;
+      restarts += e.kind == obs::EventKind::kTxnRestart ? 1 : 0;
+      commits += e.kind == obs::EventKind::kTxnCommit ? 1 : 0;
+    }
+    std::printf(
+        "\nTraced smallbank cluster: %llu events (%llu txn spans, %llu "
+        "commits, %llu restarts), %llu committed single-shard\n",
+        static_cast<unsigned long long>(ring->total_recorded()),
+        static_cast<unsigned long long>(spans),
+        static_cast<unsigned long long>(commits),
+        static_cast<unsigned long long>(restarts),
+        static_cast<unsigned long long>(r.committed_single));
+    if (spans < r.committed_single) {
+      std::fprintf(stderr,
+                   "expected at least one span per committed transaction\n");
+      return 1;
+    }
+    const std::string trace_json = ring->ToChromeJson();
+    std::printf("Chrome trace export: %zu bytes (write it with a bench's "
+                "--trace-out and load at ui.perfetto.dev)\n",
+                trace_json.size());
+  }
   return 0;
 }

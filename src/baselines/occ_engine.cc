@@ -70,7 +70,7 @@ void OccEngine::SelfAbort(TxnSlot slot) {
   ++s.incarnation;
   ++s.re_executions;
   ++total_aborts_;
-  if (on_abort_) on_abort_(slot);
+  if (on_abort_) on_abort_(slot, obs::AbortReason::kValidationFailure);
 }
 
 Status OccEngine::Finish(TxnSlot slot, uint32_t incarnation) {

@@ -32,7 +32,10 @@ class OccEngine final : public BatchEngine {
   /// `base` supplies committed values/versions; must outlive the engine.
   OccEngine(const storage::ReadView* base, uint32_t batch_size);
 
-  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
+  /// OCC restarts are always validation failures (the only abort site is
+  /// the Finish-time version cross-check), so every callback invocation
+  /// reports obs::AbortReason::kValidationFailure.
+  void SetAbortCallback(ce::AbortCallback cb) override {
     on_abort_ = std::move(cb);
   }
 
@@ -91,7 +94,7 @@ class OccEngine final : public BatchEngine {
   /// Atomic so progress checks never block (batch_engine.h contract).
   std::atomic<uint32_t> committed_{0};
   std::atomic<uint64_t> total_aborts_{0};
-  std::function<void(TxnSlot)> on_abort_;
+  ce::AbortCallback on_abort_;
 };
 
 }  // namespace thunderbolt::baselines

@@ -107,7 +107,7 @@ void TplNoWaitEngine::SelfAbort(TxnSlot slot) {
   ++s.incarnation;
   ++s.re_executions;
   ++total_aborts_;
-  if (on_abort_) on_abort_(slot);
+  if (on_abort_) on_abort_(slot, obs::AbortReason::kLockAcquireFailure);
 }
 
 Status TplNoWaitEngine::Finish(TxnSlot slot, uint32_t incarnation) {

@@ -30,7 +30,10 @@ class TplNoWaitEngine final : public BatchEngine {
  public:
   TplNoWaitEngine(const storage::ReadView* base, uint32_t batch_size);
 
-  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
+  /// No-wait restarts are always failed lock acquisitions (read, write or
+  /// upgrade), so every callback invocation reports
+  /// obs::AbortReason::kLockAcquireFailure.
+  void SetAbortCallback(ce::AbortCallback cb) override {
     on_abort_ = std::move(cb);
   }
 
@@ -95,7 +98,7 @@ class TplNoWaitEngine final : public BatchEngine {
   /// Atomic so progress checks never block (batch_engine.h contract).
   std::atomic<uint32_t> committed_{0};
   std::atomic<uint64_t> total_aborts_{0};
-  std::function<void(TxnSlot)> on_abort_;
+  ce::AbortCallback on_abort_;
 };
 
 }  // namespace thunderbolt::baselines

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
 
@@ -26,6 +27,11 @@ using TxnSlot = uint32_t;
 
 /// Sentinel for "value read from the root (committed storage)".
 inline constexpr TxnSlot kRootSlot = ~TxnSlot{0};
+
+/// Re-queue callback: invoked once per restart with the victim slot and
+/// *why* it was torn down (obs::AbortReason) — the executor pools break
+/// total_aborts down by reason and emit restart trace events from it.
+using AbortCallback = std::function<void(TxnSlot, obs::AbortReason)>;
 
 /// Per-transaction outcome extracted after the batch commits.
 struct TxnRecord {
@@ -77,7 +83,10 @@ class BatchEngine {
   virtual bool SupportsConcurrentExecutors() const { return false; }
 
   /// Registers the re-queue callback. Must be set before execution starts.
-  virtual void SetAbortCallback(std::function<void(TxnSlot)> cb) = 0;
+  /// The reason argument classifies the abort: read-write conflict /
+  /// cascade invalidation (CC), validation failure (OCC), lock-acquire
+  /// failure (2PL-No-Wait).
+  virtual void SetAbortCallback(AbortCallback cb) = 0;
 
   /// Starts (or restarts) a slot; returns its current incarnation.
   virtual uint32_t Begin(TxnSlot slot) = 0;

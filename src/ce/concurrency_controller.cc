@@ -125,7 +125,7 @@ Result<Value> ConcurrencyController::Read(TxnSlot slot, uint32_t incarnation,
   if (!source.has_value()) {
     // Section 8.4: no consistent source exists. Abort the acting
     // transaction (and anything that consumed its writes).
-    AbortTxn(slot);
+    AbortTxn(slot, obs::AbortReason::kReadWriteConflict);
     return Status::Aborted("read conflict on key " + key);
   }
 
@@ -256,7 +256,7 @@ Status ConcurrencyController::Write(TxnSlot slot, uint32_t incarnation,
       }
     }
     victims.erase(slot);
-    ResetSlots(victims);
+    ResetSlots(victims, kRootSlot, obs::AbortReason::kCascadeInvalidation);
     if (!self_alive()) return Status::Aborted("aborted during rewrite");
     auto self = node.records.find(key);
     self->second.last_write = value;
@@ -287,7 +287,7 @@ Status ConcurrencyController::Write(TxnSlot slot, uint32_t incarnation,
       // Reader is ordered after us but read an older value: its read is no
       // longer the latest-preceding write. Abort the reader (cascading from
       // the acting writer, section 8.4 case 2).
-      AbortTxn(r);
+      AbortTxn(r, obs::AbortReason::kCascadeInvalidation);
       if (!self_alive()) return Status::Aborted("aborted during write");
       continue;
     }
@@ -352,13 +352,15 @@ void ConcurrencyController::CollectValueDependents(
   }
 }
 
-void ConcurrencyController::AbortTxn(TxnSlot slot) {
+void ConcurrencyController::AbortTxn(TxnSlot slot, obs::AbortReason reason) {
   std::set<TxnSlot> victims{slot};
   CollectValueDependents(slot, victims);
-  ResetSlots(victims);
+  ResetSlots(victims, slot, reason);
 }
 
-void ConcurrencyController::ResetSlots(const std::set<TxnSlot>& victims) {
+void ConcurrencyController::ResetSlots(const std::set<TxnSlot>& victims,
+                                       TxnSlot initiator,
+                                       obs::AbortReason reason) {
   // Transactions that were blocked on a victim's edges may become
   // committable once those edges disappear; collect them before resetting.
   std::set<TxnSlot> wake;
@@ -369,7 +371,9 @@ void ConcurrencyController::ResetSlots(const std::set<TxnSlot>& victims) {
     if (nodes_[v].state == SlotState::kRunning ||
         nodes_[v].state == SlotState::kFinished) {
       ++total_aborts_;
-      ResetSlot(v);
+      ResetSlot(v, v == initiator
+                       ? reason
+                       : obs::AbortReason::kCascadeInvalidation);
     }
   }
   for (TxnSlot w : wake) {
@@ -378,7 +382,7 @@ void ConcurrencyController::ResetSlots(const std::set<TxnSlot>& victims) {
   }
 }
 
-void ConcurrencyController::ResetSlot(TxnSlot slot) {
+void ConcurrencyController::ResetSlot(TxnSlot slot, obs::AbortReason reason) {
   Node& node = nodes_[slot];
   assert(node.state != SlotState::kCommitted);
   RemoveNodeEdges(slot);
@@ -394,7 +398,7 @@ void ConcurrencyController::ResetSlot(TxnSlot slot) {
   node.state = SlotState::kIdle;
   ++node.incarnation;
   ++node.re_executions;
-  if (on_abort_) on_abort_(slot);
+  if (on_abort_) on_abort_(slot, reason);
 }
 
 // --- Commit machinery --------------------------------------------------------

@@ -66,7 +66,10 @@ class ConcurrencyController final : public BatchEngine {
 
   /// The callback is invoked for every slot that must be re-executed (both
   /// self-aborts and cascading aborts); the executor pool re-queues them.
-  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
+  /// Reason: kReadWriteConflict for the initiating reader of a failed
+  /// PlanRead, kCascadeInvalidation for every victim whose consumed value
+  /// was invalidated (section 8.4 case 2).
+  void SetAbortCallback(AbortCallback cb) override {
     on_abort_ = std::move(cb);
   }
 
@@ -166,14 +169,17 @@ class ConcurrencyController final : public BatchEngine {
   // or nullopt if every candidate fails.
   std::optional<TxnSlot> PlanRead(TxnSlot slot, const Key& key);
 
-  // Abort machinery (section 8.4).
-  void AbortTxn(TxnSlot slot);            // Abort slot + value-dependents.
+  // Abort machinery (section 8.4). `reason` describes the *initiator*'s
+  // abort cause; transitive victims always report kCascadeInvalidation.
+  void AbortTxn(TxnSlot slot, obs::AbortReason reason);
   void CollectValueDependents(TxnSlot slot, std::set<TxnSlot>& out) const;
   /// Resets every victim (clearing records/edges and bumping incarnations),
   /// then retries commits for finished transactions that were waiting on a
-  /// victim's now-removed edges.
-  void ResetSlots(const std::set<TxnSlot>& victims);
-  void ResetSlot(TxnSlot slot);
+  /// victim's now-removed edges. `initiator` (if a member of `victims`)
+  /// reports `reason`; everyone else reports kCascadeInvalidation.
+  void ResetSlots(const std::set<TxnSlot>& victims, TxnSlot initiator,
+                  obs::AbortReason reason);
+  void ResetSlot(TxnSlot slot, obs::AbortReason reason);
 
   // Commit machinery.
   void TryCommit(TxnSlot slot);
@@ -193,7 +199,7 @@ class ConcurrencyController final : public BatchEngine {
   /// point 2 in batch_engine.h).
   std::atomic<uint32_t> committed_count_{0};
   std::atomic<uint64_t> total_aborts_{0};
-  std::function<void(TxnSlot)> on_abort_;
+  AbortCallback on_abort_;
 };
 
 }  // namespace thunderbolt::ce

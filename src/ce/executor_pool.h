@@ -19,6 +19,7 @@
 #ifndef THUNDERBOLT_CE_EXECUTOR_POOL_H_
 #define THUNDERBOLT_CE_EXECUTOR_POOL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,6 +30,8 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "contract/contract.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "txn/transaction.h"
 
 namespace thunderbolt::ce {
@@ -72,9 +75,23 @@ struct BatchExecutionResult {
   std::vector<TxnSlot> order;          // Serialization order.
   storage::WriteBatch final_writes;    // To apply to storage.
   uint64_t total_aborts = 0;           // Re-executions across the batch.
+  /// total_aborts broken down by cause, indexed by obs::AbortReason (the
+  /// engine reports the reason through the abort callback).
+  std::array<uint64_t, obs::kNumAbortReasons> abort_reasons{};
   SimTime start_time = 0;
   SimTime duration = 0;                // Makespan of the batch.
   Histogram commit_latency_us;         // Per-txn commit latency.
+};
+
+/// Observability context a pool records into. Set once (per node / bench
+/// cell) before Run; both sinks may be shared across pools. `tracer` is
+/// never null — the default is the shared no-op NullTracer, so an
+/// un-instrumented pool costs one branch per would-be event. `pid` scopes
+/// trace events to a replica in multi-node runs.
+struct PoolObsContext {
+  obs::Tracer* tracer = obs::NullTracerInstance();
+  obs::MetricsRegistry* metrics = nullptr;
+  uint32_t pid = 0;
 };
 
 /// A pool of E executors (virtual or physical) that drives one batch at a
@@ -96,6 +113,15 @@ class ExecutorPool {
 
   /// Selection name: "sim" or "thread".
   virtual std::string name() const = 0;
+
+  /// Installs the observability sinks this pool records into (trace events
+  /// per transaction/batch, `pool.<name>.*` metrics). Call between
+  /// batches, not during Run.
+  void SetObs(const PoolObsContext& ctx) { obs_ = ctx; }
+  const PoolObsContext& obs_context() const { return obs_; }
+
+ protected:
+  PoolObsContext obs_;
 };
 
 /// Instantiates the named pool ("sim" or "thread") with `num_executors`

@@ -152,6 +152,17 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
   std::vector<uint32_t> consecutive_restarts(n, 0);
   std::vector<bool> needs_backoff(n, false);
   SimTime abort_event_time = start_time;
+
+  // Observability: events carry virtual timestamps, so traces are
+  // byte-deterministic per seed (determinism_test pins this). `tracer` is
+  // the no-op NullTracer unless SetObs installed a real sink.
+  obs::Tracer& tracer = *obs_.tracer;
+  const bool tracing = tracer.enabled();
+  std::array<uint64_t, obs::kNumAbortReasons> reason_counts{};
+  // Executor currently stepping (the lane restart events land on) and the
+  // last executor to run each slot (the lane its lifecycle span lands on).
+  uint32_t acting_executor = 0;
+  std::vector<uint32_t> last_executor(n, 0);
   // Per-transaction livelock bound (the Run contract): one slot restarted
   // more than kMaxRestartsPerTxn * n times *consecutively* fails the batch.
   // consecutive_restarts resets when the slot finishes, so an abort
@@ -159,11 +170,23 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
   // kMaxRestartFactor cap below backstops that pattern.
   const uint64_t max_restarts_per_txn = kMaxRestartsPerTxn * n;
   TxnSlot livelocked_slot = kRootSlot;
-  engine.SetAbortCallback([&](TxnSlot slot) {
+  engine.SetAbortCallback([&](TxnSlot slot, obs::AbortReason reason) {
     runs[slot].log.clear();
     runs[slot].started = false;
     ++consecutive_restarts[slot];
     needs_backoff[slot] = true;
+    ++reason_counts[static_cast<size_t>(reason)];
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kTxnRestart;
+      ev.reason = reason;
+      ev.pid = obs_.pid;
+      ev.tid = acting_executor;
+      ev.ts_us = abort_event_time;
+      ev.txn = batch[slot].id;
+      ev.a = consecutive_restarts[slot];
+      tracer.Record(ev);
+    }
     if (consecutive_restarts[slot] > max_restarts_per_txn &&
         livelocked_slot == kRootSlot) {
       livelocked_slot = slot;
@@ -240,9 +263,32 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     return StepOutcome::kFinished;
   };
 
+  // The per-txn consecutive-restart bound tripped: surface it as its own
+  // abort reason (trace + metrics) before failing the batch.
+  auto report_restart_bound = [&](TxnSlot slot) {
+    ++reason_counts[static_cast<size_t>(obs::AbortReason::kRestartBound)];
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kTxnRestart;
+      ev.reason = obs::AbortReason::kRestartBound;
+      ev.pid = obs_.pid;
+      ev.tid = acting_executor;
+      ev.ts_us = abort_event_time;
+      ev.txn = batch[slot].id;
+      ev.a = consecutive_restarts[slot];
+      tracer.Record(ev);
+    }
+    if (obs_.metrics != nullptr) {
+      obs_.metrics
+          ->GetCounter("pool.sim.restart_reason.restart_bound")
+          .Inc();
+    }
+  };
+
   assign();
   while (!engine.AllCommitted()) {
     if (livelocked_slot != kRootSlot) {
+      report_restart_bound(livelocked_slot);
       return Status::Internal(
           "executor pool livelock: txn slot " +
           std::to_string(livelocked_slot) + " restarted " +
@@ -280,6 +326,8 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     // Serialize the engine critical section across executors.
     SimTime start = std::max(ex.free_at, engine_serial_free);
     abort_event_time = start;
+    acting_executor = ex.id;
+    last_executor[slot] = ex.id;
     SimTime cost = 0;
     StepOutcome outcome = step(slot, start, &cost);
     SimTime serial_cost = cost > 0 ? costs_.engine_serial_cost : 0;
@@ -326,7 +374,19 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     // Record commit times for transactions committed by this step.
     const std::vector<TxnSlot>& order = engine.SerializationOrder();
     for (; last_committed < order.size(); ++last_committed) {
-      commit_time[order[last_committed]] = done;
+      const TxnSlot committed_slot = order[last_committed];
+      commit_time[committed_slot] = done;
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kTxnCommit;
+        ev.pid = obs_.pid;
+        ev.tid = ex.id;
+        ev.ts_us = done;
+        ev.txn = batch[committed_slot].id;
+        ev.a = runs[committed_slot].incarnation;
+        ev.b = last_committed;
+        tracer.Record(ev);
+      }
     }
 
     assign();
@@ -335,6 +395,7 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
   result.order = engine.SerializationOrder();
   result.total_aborts = engine.total_aborts();
   result.final_writes = engine.FinalWrites();
+  result.abort_reasons = reason_counts;
   result.records.reserve(n);
   for (TxnSlot s = 0; s < n; ++s) {
     result.records.push_back(engine.ExtractRecord(s));
@@ -342,8 +403,49 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
                                                  : start_time;
     SimTime committed = std::max(commit_time[s], submitted);
     result.commit_latency_us.Add(static_cast<double>(committed - submitted));
+    if (tracing) {
+      // One lifecycle span per committed transaction: first admission on
+      // an executor through the step whose cascade committed it.
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kTxnSpan;
+      ev.pid = obs_.pid;
+      ev.tid = last_executor[s];
+      ev.ts_us = runs[s].first_started_at;
+      ev.dur_us = commit_time[s] > runs[s].first_started_at
+                      ? commit_time[s] - runs[s].first_started_at
+                      : 0;
+      ev.txn = batch[s].id;
+      ev.a = result.records[s].re_executions;
+      ev.b = static_cast<uint64_t>(result.records[s].order);
+      tracer.Record(ev);
+    }
   }
   result.duration = last_event - start_time;
+  if (tracing) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kBatchSpan;
+    ev.pid = obs_.pid;
+    ev.tid = num_executors_;  // Dedicated lane above the executor lanes.
+    ev.ts_us = start_time;
+    ev.dur_us = result.duration;
+    ev.a = n;
+    ev.b = result.total_aborts;
+    tracer.Record(ev);
+  }
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.GetCounter("pool.sim.batches").Inc();
+    m.GetCounter("pool.sim.txns").Inc(n);
+    m.GetCounter("pool.sim.restarts").Inc(result.total_aborts);
+    for (size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+      if (reason_counts[r] == 0) continue;
+      m.GetCounter(std::string("pool.sim.restart_reason.") +
+                   obs::AbortReasonName(static_cast<obs::AbortReason>(r)))
+          .Inc(reason_counts[r]);
+    }
+    m.GetHistogram("pool.sim.commit_latency_us")
+        .Merge(result.commit_latency_us);
+  }
   return result;
 }
 

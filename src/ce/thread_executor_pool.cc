@@ -97,6 +97,15 @@ void ThreadExecutorPool::WorkerLoop() {
         // Double-buffer swap: the next wave (re-admitted aborted txns)
         // becomes the current batch.
         std::swap(job.current, job.next);
+        if (obs_.tracer->enabled()) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kWave;
+          ev.pid = obs_.pid;
+          ev.tid = id;
+          ev.ts_us = TraceNowUs();
+          ev.a = job.current.size();
+          obs_.tracer->Record(ev);
+        }
       }
       if (job.current.empty()) {
         if (job.executing == 0) {
@@ -136,6 +145,7 @@ void ThreadExecutorPool::WorkerLoop() {
         std::this_thread::sleep_for(std::chrono::microseconds(
             costs_.restart_cost * (uint64_t{1} << exp)));
       }
+      const uint64_t attempt_start_us = TraceNowUs();
       const Outcome outcome = Attempt(job, slot);
       const double latency_us =
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -146,6 +156,19 @@ void ThreadExecutorPool::WorkerLoop() {
       const bool all_committed = job.engine->AllCommitted();
       const bool over_global_cap =
           job.engine->total_aborts() > kMaxRestartFactor * job.n;
+      if (outcome == Outcome::kFinished && obs_.tracer->enabled()) {
+        // One span per completing attempt; for engines that commit at
+        // Finish this is the transaction's lifecycle span.
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kTxnSpan;
+        ev.pid = obs_.pid;
+        ev.tid = id;
+        ev.ts_us = attempt_start_us;
+        ev.dur_us = TraceNowUs() - attempt_start_us;
+        ev.txn = (*job.batch)[slot].id;
+        ev.a = restarts;
+        obs_.tracer->Record(ev);
+      }
       lk.lock();
 
       --job.executing;
@@ -202,13 +225,27 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
   // The callback runs on worker threads with engine-internal locks held;
   // it touches only pool queue state, under the pool mutex (lock order:
   // engine, then pool).
-  engine.SetAbortCallback([this](TxnSlot slot) {
+  engine.SetAbortCallback([this](TxnSlot slot, obs::AbortReason reason) {
     std::lock_guard<std::mutex> lk(mu_);
     if (!active_) return;
     Job& job = job_;
     ++job.consecutive_restarts[slot];
+    ++job.reason_counts[static_cast<size_t>(reason)];
+    if (obs_.tracer->enabled()) {
+      // Engine locks + pool mutex are held; the ring's own mutex is a
+      // leaf, so recording here preserves the lock order.
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kTxnRestart;
+      ev.reason = reason;
+      ev.pid = obs_.pid;
+      ev.ts_us = TraceNowUs();
+      ev.txn = (*job.batch)[slot].id;
+      ev.a = job.consecutive_restarts[slot];
+      obs_.tracer->Record(ev);
+    }
     if (job.consecutive_restarts[slot] > kMaxRestartsPerTxn * job.n &&
         job.error.ok()) {
+      ++job.reason_counts[static_cast<size_t>(obs::AbortReason::kRestartBound)];
       job.error = Status::Internal(
           "thread pool livelock: txn slot " + std::to_string(slot) +
           " restarted " + std::to_string(job.consecutive_restarts[slot]) +
@@ -270,6 +307,7 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
   result.order = engine.SerializationOrder();
   result.total_aborts = engine.total_aborts();
   result.final_writes = engine.FinalWrites();
+  result.abort_reasons = job_.reason_counts;
   result.records.reserve(n);
   for (TxnSlot s = 0; s < n; ++s) {
     result.records.push_back(engine.ExtractRecord(s));
@@ -277,6 +315,31 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
   // Merge the single-writer per-worker histograms (common/histogram.h).
   for (const Histogram& h : job_.worker_latency_us) {
     result.commit_latency_us.Merge(h);
+  }
+  if (obs_.tracer->enabled()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kBatchSpan;
+    ev.pid = obs_.pid;
+    ev.tid = num_executors_;  // Dedicated lane above the worker lanes.
+    ev.ts_us = TraceNowUs() - wall_us;
+    ev.dur_us = wall_us;
+    ev.a = n;
+    ev.b = result.total_aborts;
+    obs_.tracer->Record(ev);
+  }
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.GetCounter("pool.thread.batches").Inc();
+    m.GetCounter("pool.thread.txns").Inc(n);
+    m.GetCounter("pool.thread.restarts").Inc(result.total_aborts);
+    for (size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+      if (result.abort_reasons[r] == 0) continue;
+      m.GetCounter(std::string("pool.thread.restart_reason.") +
+                   obs::AbortReasonName(static_cast<obs::AbortReason>(r)))
+          .Inc(result.abort_reasons[r]);
+    }
+    m.GetHistogram("pool.thread.commit_latency_us")
+        .Merge(result.commit_latency_us);
   }
   engine.SetAbortCallback({});
   return result;

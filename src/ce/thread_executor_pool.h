@@ -39,6 +39,7 @@
 #ifndef THUNDERBOLT_CE_THREAD_EXECUTOR_POOL_H_
 #define THUNDERBOLT_CE_THREAD_EXECUTOR_POOL_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -109,6 +110,8 @@ class ThreadExecutorPool final : public ExecutorPool {
     uint32_t workers_inside = 0;   // Workers inside the job loop.
     bool done = false;
     Status error = Status::OK();
+    // Restarts by cause; mutated in the abort callback under mu_.
+    std::array<uint64_t, obs::kNumAbortReasons> reason_counts{};
 
     std::chrono::steady_clock::time_point wall_start;
     // One histogram per worker (Histogram is single-writer; see
@@ -122,8 +125,20 @@ class ThreadExecutorPool final : public ExecutorPool {
   enum class Outcome { kFinished, kAborted };
   Outcome Attempt(Job& job, TxnSlot slot);
 
+  /// Wall-clock microseconds since pool construction — the trace
+  /// timestamp domain for this pool (monotonic across batches, so
+  /// consecutive Runs land side by side on the Perfetto timeline).
+  uint64_t TraceNowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - trace_epoch_)
+            .count());
+  }
+
   const uint32_t num_executors_;
   const ExecutionCostModel costs_;
+  const std::chrono::steady_clock::time_point trace_epoch_ =
+      std::chrono::steady_clock::now();
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // Workers: new work / job start / end.

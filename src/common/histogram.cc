@@ -5,35 +5,40 @@
 
 namespace thunderbolt {
 
-void Histogram::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+const std::vector<double>& Histogram::Sorted() const {
+  // Caller holds no lock; we build (or reuse) the cache under cache_mu_.
+  // Concurrent const readers are safe: the first one to arrive builds,
+  // later ones observe cache_valid_ under the same mutex. The sample
+  // vector itself is never reordered.
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (!cache_valid_) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_valid_ = true;
   }
+  return sorted_cache_;
 }
 
 double Histogram::Min() const {
   if (samples_.empty()) return 0.0;
-  EnsureSorted();
-  return samples_.front();
+  return Sorted().front();
 }
 
 double Histogram::Max() const {
   if (samples_.empty()) return 0.0;
-  EnsureSorted();
-  return samples_.back();
+  return Sorted().back();
 }
 
 double Histogram::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  EnsureSorted();
-  if (p <= 0) return samples_.front();
-  if (p >= 100) return samples_.back();
-  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::vector<double>& sorted = Sorted();
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(std::floor(rank));
   size_t hi = static_cast<size_t>(std::ceil(rank));
   double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 }  // namespace thunderbolt

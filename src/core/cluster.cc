@@ -64,13 +64,14 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
   }
   workload_->InitStore(shared_->canonical.get());
   metrics_ = std::make_unique<ClusterMetrics>();
+  obs_ = std::make_unique<obs::Observability>(config_.obs);
 
   nodes_.reserve(config_.n);
   for (ReplicaId id = 0; id < config_.n; ++id) {
     nodes_.push_back(std::make_unique<ThunderboltNode>(
         config_, id, simulator_.get(), network_.get(), &keys_, registry_,
         workload_.get(), placement_, shared_.get(), metrics_.get(),
-        /*is_observer=*/id == 0));
+        obs_.get(), /*is_observer=*/id == 0));
   }
 }
 
@@ -86,6 +87,14 @@ void Cluster::CrashReplicaAt(ReplicaId id, SimTime when) {
   simulator_->ScheduleAt(when, [this, id]() {
     network_->Crash(id);
     nodes_[id]->Stop();
+    obs::Tracer& tracer = *obs_->tracer();
+    if (tracer.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kCrash;
+      e.pid = id;
+      e.ts_us = simulator_->Now();
+      tracer.Record(e);
+    }
   });
 }
 
@@ -98,6 +107,19 @@ ClusterResult Cluster::Run(SimTime duration) {
   const uint64_t reconf0 = metrics_->reconfigurations;
   const uint64_t aborts0 = metrics_->preplay_aborts;
   const size_t migrations0 = metrics_->migration_events.size();
+
+  // The pools break restarts down by cause into registry counters named
+  // pool.<pool>.restart_reason.<reason>; snapshot them for window deltas.
+  auto reason_count = [this](size_t r) -> uint64_t {
+    const obs::Counter* c = obs_->metrics().FindCounter(
+        "pool." + config_.pool + ".restart_reason." +
+        obs::AbortReasonName(static_cast<obs::AbortReason>(r)));
+    return c == nullptr ? 0 : c->value();
+  };
+  std::array<uint64_t, obs::kNumAbortReasons> reasons0{};
+  for (size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+    reasons0[r] = reason_count(r);
+  }
 
   if (!started_) {
     started_ = true;
@@ -116,6 +138,9 @@ ClusterResult Cluster::Run(SimTime duration) {
   result.reconfigurations = metrics_->reconfigurations - reconf0;
   result.preplay_aborts = metrics_->preplay_aborts - aborts0;
   result.migrations = metrics_->migration_events.size() - migrations0;
+  for (size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+    result.abort_reasons[r] = reason_count(r) - reasons0[r];
+  }
   result.commit_times = metrics_->commit_times;
 
   // A transaction counts toward this window only once its pipeline
@@ -140,6 +165,35 @@ ClusterResult Cluster::Run(SimTime duration) {
   result.avg_latency_s = window.Mean() / 1e6;
   result.p50_latency_s = window.Median() / 1e6;
   result.p99_latency_s = window.Percentile(99) / 1e6;
+  result.p999_latency_s = window.Percentile(99.9) / 1e6;
+
+  // Surface cluster-level outcomes and the canonical store's traffic
+  // counters through the registry, so a --metrics-out snapshot captures
+  // the whole system, not just the pools' view.
+  obs::MetricsRegistry& m = obs_->metrics();
+  auto sync_counter = [&m](const char* name, uint64_t cumulative) {
+    obs::Counter& c = m.GetCounter(name);
+    c.Inc(cumulative - c.value());  // Both monotone; bring up to date.
+  };
+  const storage::StoreStats stats = shared_->canonical->Stats();
+  sync_counter("store.gets", stats.gets);
+  sync_counter("store.puts", stats.puts);
+  sync_counter("store.deletes", stats.deletes);
+  sync_counter("store.batches", stats.batches);
+  sync_counter("store.scans", stats.scans);
+  sync_counter("store.snapshots", stats.snapshots);
+  sync_counter("store.forks", stats.forks);
+  m.GetGauge("store.live_keys").Set(static_cast<double>(stats.live_keys));
+  m.GetCounter("cluster.committed_single").Inc(result.committed_single);
+  m.GetCounter("cluster.committed_cross").Inc(result.committed_cross);
+  m.GetCounter("cluster.invalid_blocks").Inc(result.invalid_blocks);
+  m.GetCounter("cluster.skip_blocks").Inc(result.skip_blocks);
+  m.GetCounter("cluster.shift_blocks").Inc(result.shift_blocks);
+  m.GetCounter("cluster.conversions").Inc(result.conversions);
+  m.GetCounter("cluster.reconfigurations").Inc(result.reconfigurations);
+  m.GetCounter("cluster.preplay_aborts").Inc(result.preplay_aborts);
+  m.GetCounter("cluster.migrations").Inc(result.migrations);
+  m.GetHistogram("cluster.commit_latency_us").Merge(window);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #ifndef THUNDERBOLT_CORE_CLUSTER_H_
 #define THUNDERBOLT_CORE_CLUSTER_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/simulator.h"
 #include "core/config.h"
 #include "core/node.h"
+#include "obs/obs.h"
 #include "placement/placement.h"
 #include "workload/workload.h"
 
@@ -35,6 +37,10 @@ struct ClusterResult {
   double avg_latency_s = 0;      // Mean commit latency in virtual seconds.
   double p50_latency_s = 0;
   double p99_latency_s = 0;
+  double p999_latency_s = 0;
+  /// Preplay aborts in this window broken down by cause, indexed by
+  /// obs::AbortReason (window delta of the pools' restart_reason metrics).
+  std::array<uint64_t, obs::kNumAbortReasons> abort_reasons{};
   /// (commit index, completion time) pairs from the observer (Figure 16).
   std::vector<std::pair<Round, SimTime>> commit_times;
 };
@@ -77,6 +83,12 @@ class Cluster {
     return *shared_->canonical;
   }
   const ClusterMetrics& metrics() const { return *metrics_; }
+  /// The cluster's observability bundle: metrics are always live; the
+  /// trace ring exists when config.obs.trace was set. WriteJson /
+  /// WriteChromeJson on these produce the bench --metrics-out/--trace-out
+  /// artifacts.
+  obs::Observability& obs() { return *obs_; }
+  const obs::Observability& obs() const { return *obs_; }
   workload::Workload& workload() { return *workload_; }
   const workload::Workload& workload() const { return *workload_; }
   /// The placement policy every node maps accounts through (mutated only
@@ -106,6 +118,8 @@ class Cluster {
   std::shared_ptr<placement::PlacementPolicy> placement_;
   std::unique_ptr<SharedClusterState> shared_;
   std::unique_ptr<ClusterMetrics> metrics_;
+  /// Declared before nodes_: every node holds a raw pointer into it.
+  std::unique_ptr<obs::Observability> obs_;
   std::vector<std::unique_ptr<ThunderboltNode>> nodes_;
   bool started_ = false;
   /// Cursor into metrics_->samples for window accounting across Run calls.

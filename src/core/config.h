@@ -8,6 +8,7 @@
 #include "ce/executor_pool.h"
 #include "common/types.h"
 #include "net/network.h"
+#include "obs/obs.h"
 
 namespace thunderbolt::core {
 
@@ -80,6 +81,14 @@ struct ThunderboltConfig {
   /// ...or unconditionally every K' rounds (K' > K). 0 disables periodic
   /// rotation (the system-evaluation default outside Figure 15/16).
   Round reconfig_period_k_prime = 0;
+
+  // --- Observability ---------------------------------------------------------
+  /// Trace/metrics knobs for the cluster's obs::Observability bundle.
+  /// Metrics are always collected (atomic counters; negligible cost);
+  /// `obs.trace = true` additionally records lifecycle trace events into a
+  /// ring buffer exported as Chrome trace JSON. Under the "sim" pool the
+  /// trace is byte-deterministic per seed (determinism_test pins this).
+  obs::ObsOptions obs;
 
   // --- Network ---------------------------------------------------------------
   net::LatencyModel latency = net::LatencyModel::Lan();

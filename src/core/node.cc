@@ -57,7 +57,8 @@ ThunderboltNode::ThunderboltNode(
     std::shared_ptr<const contract::Registry> registry,
     workload::Workload* workload,
     std::shared_ptr<placement::PlacementPolicy> placement,
-    SharedClusterState* shared, ClusterMetrics* metrics, bool is_observer)
+    SharedClusterState* shared, ClusterMetrics* metrics, obs::Observability* obs,
+    bool is_observer)
     : config_(config),
       id_(id),
       simulator_(simulator),
@@ -68,12 +69,17 @@ ThunderboltNode::ThunderboltNode(
       placement_(std::move(placement)),
       shared_(shared),
       metrics_(metrics),
+      obs_(obs),
       is_observer_(is_observer),
       pool_(ce::CreateExecutorPool(config.pool, config.num_executors,
                                    config.exec_costs)),
       cross_executor_(registry_.get(), config.exec_costs.op_cost,
                       /*num_workers=*/4, &workload->mapper()),
       owned_shard_(ShardOwnedBy(id, 0, config.n)) {
+  // The preplay pool records its per-transaction/batch events and
+  // pool.<name>.* metrics directly; pid scopes them to this replica.
+  pool_->SetObs(
+      ce::PoolObsContext{obs_->tracer(), &obs_->metrics(), id_});
   dag::DagConfig dag_config;
   dag_config.n = config_.n;
   dag_config.id = id_;
@@ -450,7 +456,22 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
     uint64_t parallel_ops = std::max<uint64_t>(
         outcome.ops / std::max(1u, config_.num_validators),
         static_cast<uint64_t>(outcome.critical_path) * per_txn_ops);
-    cost += parallel_ops * config_.validation_op_cost;
+    const SimTime validate_cost = parallel_ops * config_.validation_op_cost;
+    if (is_observer_) {
+      obs::Tracer& tracer = *obs_->tracer();
+      if (tracer.enabled()) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kValidateSpan;
+        ev.pid = id_;
+        ev.ts_us = start + cost;
+        ev.dur_us = validate_cost;
+        ev.a = validate_seq_;
+        ev.b = outcome.txs;
+        tracer.Record(ev);
+      }
+      ++validate_seq_;
+    }
+    cost += validate_cost;
 
     if (!outcome.valid) {
       if (is_observer_) ++metrics_->invalid_blocks;
@@ -515,9 +536,23 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
             cross_executor_.Execute(txs, shared_->canonical.get(), &homes,
                                     &shared_->access_tracker);
         cross_outcome.executed = r.executed;
+        cross_outcome.remote_accesses = r.remote_accesses;
         cross_outcome.duration = r.duration;
       }
       shared_->cross_outcomes.emplace(leader_digest, cross_outcome);
+    }
+    if (is_observer_) {
+      obs::Tracer& tracer = *obs_->tracer();
+      if (tracer.enabled()) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kCrossShardSpan;
+        ev.pid = id_;
+        ev.ts_us = start + cost;
+        ev.dur_us = cross_outcome.duration;
+        ev.a = cross_outcome.executed;
+        ev.b = cross_outcome.remote_accesses;
+        tracer.Record(ev);
+      }
     }
     cost += cross_outcome.duration;
   }
@@ -574,10 +609,21 @@ void ThunderboltNode::RebuildOverlay() {
 }
 
 void ThunderboltNode::Reconfigure(Round ending_round) {
-  (void)ending_round;
   ++epoch_;
   owned_shard_ = ShardOwnedBy(id_, epoch_, config_.n);
   if (is_observer_) ++metrics_->reconfigurations;
+  obs::Tracer& tracer = *obs_->tracer();
+  if (is_observer_ && tracer.enabled()) {
+    // The fence marks the instant no in-flight preplay may straddle; the
+    // reconfiguration instant below lands after the DAG reset.
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kEpochFence;
+    ev.pid = id_;
+    ev.ts_us = simulator_->Now();
+    ev.a = epoch_;
+    ev.b = ending_round;
+    tracer.Record(ev);
+  }
 
   // Hot-key migration (section 6 boundary): the epoch fence is the only
   // point where no in-flight preplay can straddle a placement change. The
@@ -592,6 +638,17 @@ void ThunderboltNode::Reconfigure(Round ending_round) {
     if (!events.empty()) {
       // Re-homed accounts change the workload's per-shard buckets.
       workload_->SetPlacementPolicy(placement_);
+      if (tracer.enabled()) {
+        // Recorded by whichever replica performed the rebalance (deduped
+        // by rebalanced_epochs), so the migration appears exactly once.
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kMigration;
+        ev.pid = id_;
+        ev.ts_us = simulator_->Now();
+        ev.a = epoch_;
+        ev.b = events.size();
+        tracer.Record(ev);
+      }
       for (placement::MigrationEvent& e : events) {
         e.epoch = epoch_;
         metrics_->migration_events.push_back(std::move(e));
@@ -616,6 +673,15 @@ void ThunderboltNode::Reconfigure(Round ending_round) {
   building_round_ = 0;
 
   dag_->ResetForNewEpoch(epoch_);
+  if (is_observer_ && tracer.enabled()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kReconfiguration;
+    ev.pid = id_;
+    ev.ts_us = simulator_->Now();
+    ev.a = epoch_;
+    ev.b = ending_round;
+    tracer.Record(ev);
+  }
 }
 
 }  // namespace thunderbolt::core

@@ -56,6 +56,7 @@
 #include "crypto/signature.h"
 #include "dag/dag_core.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "placement/placement.h"
 #include "storage/kv_store.h"
 #include "txn/transaction.h"
@@ -108,6 +109,7 @@ struct SharedClusterState {
   std::unordered_map<Hash256, BlockOutcome> block_outcomes;
   struct CrossOutcome {
     uint64_t executed = 0;
+    uint64_t remote_accesses = 0;
     SimTime duration = 0;
   };
   std::unordered_map<Hash256, CrossOutcome> cross_outcomes;  // By leader.
@@ -131,7 +133,7 @@ class ThunderboltNode {
                   workload::Workload* workload,
                   std::shared_ptr<placement::PlacementPolicy> placement,
                   SharedClusterState* shared, ClusterMetrics* metrics,
-                  bool is_observer);
+                  obs::Observability* obs, bool is_observer);
 
   ThunderboltNode(const ThunderboltNode&) = delete;
   ThunderboltNode& operator=(const ThunderboltNode&) = delete;
@@ -192,6 +194,11 @@ class ThunderboltNode {
   std::shared_ptr<placement::PlacementPolicy> placement_;
   SharedClusterState* shared_;
   ClusterMetrics* metrics_;
+  /// Cluster-owned observability bundle. The preplay pool records through
+  /// it directly (SetObs in the ctor); the node adds cluster-level events
+  /// — validation/cross-shard spans and epoch fences — at the observer
+  /// only, so the shared timeline carries each commit-path event once.
+  obs::Observability* obs_;
   const bool is_observer_;
 
   std::unique_ptr<dag::DagCore> dag_;
@@ -237,6 +244,8 @@ class ThunderboltNode {
 
   // Commit pipeline (validation + execution) virtual-time resource.
   SimTime commit_pipeline_free_ = 0;
+  /// Observer-side sequence number for kValidateSpan trace events.
+  uint64_t validate_seq_ = 0;
 };
 
 }  // namespace thunderbolt::core

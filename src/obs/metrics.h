@@ -1,0 +1,117 @@
+// String-keyed metrics registry: counters, gauges and histograms,
+// snapshotting to JSON.
+//
+// Thread-safety follows the idioms PR 6 established for the executor pools
+// (see common/histogram.h and ce/batch_engine.h):
+//   - Counter / Gauge are single atomics; Inc/Add/Set/value are safe from
+//     any thread, lock-free.
+//   - HistogramMetric guards its Histogram with a mutex; hot paths should
+//     keep one Histogram per worker and Merge() it in at quiescence rather
+//     than calling Observe per sample from many threads.
+//   - The registry maps are mutex-guarded; Get* returns a reference that
+//     stays valid for the registry's lifetime (entries are never removed),
+//     so callers resolve a metric once and then touch only the atomic.
+// ToJson() emits keys in sorted order with fixed formatting, so the same
+// metric values always serialize to the same bytes (determinism_test
+// asserts this for sim-pool cluster runs).
+#ifndef THUNDERBOLT_OBS_METRICS_H_
+#define THUNDERBOLT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace thunderbolt::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric (also supports Add for
+/// accumulate-style use).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mutex-guarded Histogram. Observe per sample is fine from one thread;
+/// multi-threaded producers should batch into a local Histogram and
+/// Merge() it in once quiescent (the thread pool's per-worker idiom).
+class HistogramMetric {
+ public:
+  void Observe(double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    hist_.Add(v);
+  }
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lk(mu_);
+    hist_.Merge(other);
+  }
+  /// Copy of the underlying histogram (consistent point-in-time view).
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// The registry. Metric objects live as long as the registry; lookups are
+/// by exact name. Names follow "subsystem.metric" convention, e.g.
+/// "pool.restarts", "store.gets", "cluster.committed_single".
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  HistogramMetric& GetHistogram(const std::string& name);
+
+  /// Non-creating lookups: nullptr when the metric was never registered.
+  /// Readers (window-delta accounting, tests) use these so probing for a
+  /// metric that never fired does not materialize a zero entry in ToJson().
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const HistogramMetric* FindHistogram(const std::string& name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
+  /// p50,p99,p999,max}, ...}} with keys sorted. Deterministic for equal
+  /// metric values.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false on IO failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace thunderbolt::obs
+
+#endif  // THUNDERBOLT_OBS_METRICS_H_

@@ -1,0 +1,55 @@
+// Observability bundle: one MetricsRegistry plus an optional RingTracer,
+// configured by ObsOptions (threaded through ThunderboltConfig::obs and
+// the benches' --trace-out/--metrics-out flags, see bench/bench_util.h).
+#ifndef THUNDERBOLT_OBS_OBS_H_
+#define THUNDERBOLT_OBS_OBS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace thunderbolt::obs {
+
+/// Knobs a config owner (ThunderboltConfig, a bench driver) sets before
+/// constructing the Observability bundle.
+struct ObsOptions {
+  /// Record lifecycle trace events into a RingTracer. Off by default: the
+  /// tracer is then the shared NullTracer and every instrumentation site
+  /// costs one predictable branch.
+  bool trace = false;
+  /// Ring capacity in events when tracing; oldest events drop first.
+  uint32_t trace_capacity = 1u << 16;
+};
+
+/// Owns the metrics registry and (when enabled) the trace ring. Cheap to
+/// construct when tracing is off.
+class Observability {
+ public:
+  explicit Observability(const ObsOptions& options = {}) : options_(options) {
+    if (options_.trace) {
+      ring_ = std::make_unique<RingTracer>(options_.trace_capacity);
+    }
+  }
+
+  const ObsOptions& options() const { return options_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Never null: the ring when tracing, the shared NullTracer otherwise.
+  Tracer* tracer() { return ring_ ? ring_.get() : NullTracerInstance(); }
+
+  /// The ring sink, or nullptr when tracing is disabled.
+  RingTracer* ring() { return ring_.get(); }
+  const RingTracer* ring() const { return ring_.get(); }
+
+ private:
+  ObsOptions options_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<RingTracer> ring_;
+};
+
+}  // namespace thunderbolt::obs
+
+#endif  // THUNDERBOLT_OBS_OBS_H_

@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace thunderbolt::obs {
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kReadWriteConflict:
+      return "read_write_conflict";
+    case AbortReason::kCascadeInvalidation:
+      return "cascade_invalidation";
+    case AbortReason::kValidationFailure:
+      return "validation_failure";
+    case AbortReason::kLockAcquireFailure:
+      return "lock_acquire_failure";
+    case AbortReason::kRestartBound:
+      return "restart_bound";
+  }
+  return "unknown";
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnSpan:
+      return "txn";
+    case EventKind::kTxnCommit:
+      return "commit";
+    case EventKind::kTxnRestart:
+      return "restart";
+    case EventKind::kBatchSpan:
+      return "batch";
+    case EventKind::kWave:
+      return "wave";
+    case EventKind::kValidateSpan:
+      return "validate";
+    case EventKind::kCrossShardSpan:
+      return "cross_shard";
+    case EventKind::kEpochFence:
+      return "epoch_fence";
+    case EventKind::kReconfiguration:
+      return "reconfiguration";
+    case EventKind::kMigration:
+      return "migration";
+    case EventKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+bool IsSpanKind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnSpan:
+    case EventKind::kBatchSpan:
+    case EventKind::kValidateSpan:
+    case EventKind::kCrossShardSpan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Tracer* NullTracerInstance() {
+  static NullTracer instance;
+  return &instance;
+}
+
+RingTracer::RingTracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingTracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[recorded_ % capacity_] = event;
+  }
+  ++recorded_;
+}
+
+size_t RingTracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+uint64_t RingTracer::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recorded_;
+}
+
+uint64_t RingTracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+void RingTracer::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> RingTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (recorded_ <= capacity_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(capacity_);
+  const size_t head = recorded_ % capacity_;  // Oldest surviving event.
+  for (size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string EventToChromeJson(const TraceEvent& event) {
+  char buf[256];
+  const char* name = EventKindName(event.kind);
+  std::string out;
+  if (IsSpanKind(event.kind)) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+                  "\"dur\":%llu,\"pid\":%u,\"tid\":%u,\"args\":{",
+                  name, name, static_cast<unsigned long long>(event.ts_us),
+                  static_cast<unsigned long long>(event.dur_us), event.pid,
+                  event.tid);
+  } else {
+    // Instant event, thread scope.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%llu,"
+                  "\"s\":\"t\",\"pid\":%u,\"tid\":%u,\"args\":{",
+                  name, name, static_cast<unsigned long long>(event.ts_us),
+                  event.pid, event.tid);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"txn\":%llu,\"a\":%llu,\"b\":%llu",
+                static_cast<unsigned long long>(event.txn),
+                static_cast<unsigned long long>(event.a),
+                static_cast<unsigned long long>(event.b));
+  out += buf;
+  if (event.reason != AbortReason::kNone) {
+    out += ",\"reason\":\"";
+    out += AbortReasonName(event.reason);
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RingTracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += EventToChromeJson(events[i]);
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool RingTracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == json.size() && closed;
+}
+
+}  // namespace thunderbolt::obs

@@ -21,7 +21,8 @@ class OccEngineTest : public ::testing::Test {
  protected:
   OccEngineTest() : engine_(&store_, 2) {
     store_.Put("k", 10);
-    engine_.SetAbortCallback([this](TxnSlot s) { aborted_.push_back(s); });
+    engine_.SetAbortCallback(
+        [this](TxnSlot s, obs::AbortReason) { aborted_.push_back(s); });
   }
   storage::MemKVStore store_;
   OccEngine engine_;
@@ -75,7 +76,8 @@ class TplEngineTest : public ::testing::Test {
  protected:
   TplEngineTest() : engine_(&store_, 3) {
     store_.Put("k", 10);
-    engine_.SetAbortCallback([this](TxnSlot s) { aborted_.push_back(s); });
+    engine_.SetAbortCallback(
+        [this](TxnSlot s, obs::AbortReason) { aborted_.push_back(s); });
   }
   storage::MemKVStore store_;
   TplNoWaitEngine engine_;

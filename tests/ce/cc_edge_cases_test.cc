@@ -69,7 +69,7 @@ TEST_F(CcEdgeTest, RewriteCascadeCanReachActingTxn) {
   // own pending state must be handled safely.
   ConcurrencyController cc(&store_, 2);
   int aborts = 0;
-  cc.SetAbortCallback([&](TxnSlot) { ++aborts; });
+  cc.SetAbortCallback([&](TxnSlot, obs::AbortReason) { ++aborts; });
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   ASSERT_TRUE(cc.Write(1, i1, "B", 5).ok());
@@ -91,7 +91,7 @@ TEST_F(CcEdgeTest, RewriteCascadeCanReachActingTxn) {
 
 TEST_F(CcEdgeTest, EmitOnStaleIncarnationDropped) {
   ConcurrencyController cc(&store_, 2);
-  cc.SetAbortCallback([](TxnSlot) {});
+  cc.SetAbortCallback([](TxnSlot, obs::AbortReason) {});
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   ASSERT_TRUE(cc.Write(0, i0, "A", 9).ok());

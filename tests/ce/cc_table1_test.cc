@@ -17,7 +17,8 @@ TEST(CcTable1Test, FullScenario) {
   // Slots: 0 = T1, 1 = T2, 2 = T3 (paper numbering minus one).
   ConcurrencyController cc(&store, 3);
   std::vector<TxnSlot> abort_events;
-  cc.SetAbortCallback([&](TxnSlot s) { abort_events.push_back(s); });
+  cc.SetAbortCallback(
+      [&](TxnSlot s, obs::AbortReason) { abort_events.push_back(s); });
 
   uint32_t t1 = cc.Begin(0);
   uint32_t t2 = cc.Begin(1);

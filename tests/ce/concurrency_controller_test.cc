@@ -70,7 +70,7 @@ TEST_F(CcTest, RewriteCascadesAbortToReaders) {
   // value; T1 is cascade-aborted, T0 survives.
   ConcurrencyController cc(&store_, 2);
   bool aborted[2] = {false, false};
-  cc.SetAbortCallback([&](TxnSlot s) { aborted[s] = true; });
+  cc.SetAbortCallback([&](TxnSlot s, obs::AbortReason) { aborted[s] = true; });
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   ASSERT_TRUE(cc.Write(0, i0, "D", 4).ok());
@@ -130,7 +130,7 @@ TEST_F(CcTest, CycleFallbackReadsAncestor) {
   // T0; the read falls back to the root and T1 stays alive.
   ConcurrencyController cc(&store_, 2);
   bool aborted[2] = {false, false};
-  cc.SetAbortCallback([&](TxnSlot s) { aborted[s] = true; });
+  cc.SetAbortCallback([&](TxnSlot s, obs::AbortReason) { aborted[s] = true; });
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   // Build T0 -> T1 dependency via key A.
@@ -157,7 +157,7 @@ TEST_F(CcTest, LostUpdateConflictAborts) {
   // the second writer cascades an abort.
   ConcurrencyController cc(&store_, 2);
   bool aborted[2] = {false, false};
-  cc.SetAbortCallback([&](TxnSlot s) { aborted[s] = true; });
+  cc.SetAbortCallback([&](TxnSlot s, obs::AbortReason) { aborted[s] = true; });
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   ASSERT_TRUE(cc.Read(0, i0, "C").ok());
@@ -211,7 +211,7 @@ TEST_F(CcTest, ExtractRecordHoldsFirstReadLastWrite) {
 
 TEST_F(CcTest, StaleIncarnationOpsRejected) {
   ConcurrencyController cc(&store_, 2);
-  cc.SetAbortCallback([](TxnSlot) {});
+  cc.SetAbortCallback([](TxnSlot, obs::AbortReason) {});
   uint32_t i0 = cc.Begin(0);
   uint32_t i1 = cc.Begin(1);
   ASSERT_TRUE(cc.Write(0, i0, "D", 4).ok());

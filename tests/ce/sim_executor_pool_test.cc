@@ -120,9 +120,7 @@ class AlwaysAbortSlotZeroEngine final : public BatchEngine {
   explicit AlwaysAbortSlotZeroEngine(uint32_t n)
       : n_(n), committed_(n, false) {}
 
-  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
-    cb_ = std::move(cb);
-  }
+  void SetAbortCallback(AbortCallback cb) override { cb_ = std::move(cb); }
   uint32_t Begin(TxnSlot) override { return 0; }
   Result<Value> Read(TxnSlot, uint32_t, const Key&) override {
     return Value{0};
@@ -134,7 +132,7 @@ class AlwaysAbortSlotZeroEngine final : public BatchEngine {
   Status Finish(TxnSlot slot, uint32_t) override {
     if (slot == 0) {
       ++total_aborts_;
-      if (cb_) cb_(0);
+      if (cb_) cb_(0, obs::AbortReason::kValidationFailure);
       return Status::Aborted("stub: permanent abort");
     }
     if (!committed_[slot]) {
@@ -155,7 +153,7 @@ class AlwaysAbortSlotZeroEngine final : public BatchEngine {
 
  private:
   const uint32_t n_;
-  std::function<void(TxnSlot)> cb_;
+  AbortCallback cb_;
   std::vector<bool> committed_;
   uint32_t committed_count_ = 0;
   uint64_t total_aborts_ = 0;

@@ -32,9 +32,7 @@ class StubEngine final : public BatchEngine {
   StubEngine(uint32_t n, std::vector<TxnSlot> always_abort = {})
       : n_(n), always_abort_(std::move(always_abort)), committed_(n, false) {}
 
-  void SetAbortCallback(std::function<void(TxnSlot)> cb) override {
-    cb_ = std::move(cb);
-  }
+  void SetAbortCallback(AbortCallback cb) override { cb_ = std::move(cb); }
   uint32_t Begin(TxnSlot) override { return 0; }
   Result<Value> Read(TxnSlot, uint32_t, const Key&) override {
     return Value{0};
@@ -47,7 +45,7 @@ class StubEngine final : public BatchEngine {
     for (TxnSlot bad : always_abort_) {
       if (slot == bad) {
         ++total_aborts_;
-        if (cb_) cb_(slot);
+        if (cb_) cb_(slot, obs::AbortReason::kValidationFailure);
         return Status::Aborted("stub: permanent abort");
       }
     }
@@ -70,7 +68,7 @@ class StubEngine final : public BatchEngine {
  private:
   const uint32_t n_;
   const std::vector<TxnSlot> always_abort_;
-  std::function<void(TxnSlot)> cb_;
+  AbortCallback cb_;
   std::vector<bool> committed_;
   uint32_t committed_count_ = 0;
   uint64_t total_aborts_ = 0;

@@ -31,6 +31,8 @@ struct RunOutput {
   std::string histogram;      // Throughput / latency report lines.
   uint64_t state_fingerprint; // Canonical store content digest.
   uint64_t placement_fingerprint;  // Policy mapping digest.
+  std::string trace_json;     // Chrome trace export (virtual timestamps).
+  std::string metrics_json;   // Metrics registry snapshot.
 };
 
 /// (workload name, placement policy name, store backend name).
@@ -46,6 +48,9 @@ RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
   cfg.batch_size = 100;
   cfg.placement = param.placement;
   cfg.store = param.store;
+  // Trace with virtual timestamps under the sim pool: the export itself is
+  // part of the determinism contract (byte-identical JSON per seed).
+  cfg.obs.trace = true;
   if (cfg.placement == "directory") {
     // Exercise the migration path: periodic reconfigurations give the
     // directory policy boundaries to rebalance at.
@@ -80,6 +85,8 @@ RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
   out.histogram = report;
   out.state_fingerprint = cluster.canonical_state().ContentFingerprint();
   out.placement_fingerprint = cluster.placement().Fingerprint();
+  out.trace_json = cluster.obs().ring()->ToChromeJson();
+  out.metrics_json = cluster.obs().metrics().ToJson();
   return out;
 }
 
@@ -94,6 +101,11 @@ TEST_P(ClusterDeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
   EXPECT_EQ(a.histogram, b.histogram);
   EXPECT_EQ(a.state_fingerprint, b.state_fingerprint);
   EXPECT_EQ(a.placement_fingerprint, b.placement_fingerprint);
+  // The whole observability export is deterministic too: same seed, same
+  // bytes, both for the trace ring and the metrics snapshot.
+  EXPECT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
 }
 
 TEST_P(ClusterDeterminismTest, DifferentSeedsDiverge) {

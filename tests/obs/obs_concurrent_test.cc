@@ -1,0 +1,95 @@
+// Concurrent-recording stress for the obs sinks (the TSan CI leg runs
+// this suite via the `thread` label): many real threads hammer one
+// RingTracer and one MetricsRegistry while readers snapshot/export, and
+// every event and increment must be accounted for.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace thunderbolt::obs {
+namespace {
+
+TEST(ObsConcurrentTest, ConcurrentRecordAccountsForEveryEvent) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  RingTracer tracer(1 << 10);  // Much smaller than the load: forces wraps.
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.kind = i % 3 == 0 ? EventKind::kTxnSpan : EventKind::kTxnRestart;
+        e.reason = e.kind == EventKind::kTxnRestart
+                       ? AbortReason::kReadWriteConflict
+                       : AbortReason::kNone;
+        e.tid = static_cast<uint32_t>(t);
+        e.ts_us = i;
+        tracer.Record(e);
+      }
+    });
+  }
+  // Concurrent readers: snapshots and exports must stay internally
+  // consistent while writers are active.
+  std::thread reader([&tracer]() {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<TraceEvent> snap = tracer.Snapshot();
+      EXPECT_LE(snap.size(), tracer.capacity());
+      std::string json = tracer.ToChromeJson();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reader.join();
+
+  EXPECT_EQ(tracer.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(tracer.size(), tracer.capacity());
+  EXPECT_EQ(tracer.dropped(), kThreads * kPerThread - tracer.capacity());
+}
+
+TEST(ObsConcurrentTest, ConcurrentMetricsUpdatesSum) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry registry;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t]() {
+      // Resolve-once-then-touch-the-atomic is the documented idiom, but
+      // re-resolving from other threads must also be safe.
+      Counter& mine = registry.GetCounter("shared.counter");
+      Histogram local;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        mine.Inc();
+        registry.GetGauge("gauge." + std::to_string(t)).Add(1.0);
+        local.Add(static_cast<double>(i));
+      }
+      registry.GetHistogram("shared.hist").Merge(local);
+    });
+  }
+  std::thread reader([&registry]() {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_FALSE(registry.ToJson().empty());
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reader.join();
+
+  EXPECT_EQ(registry.GetCounter("shared.counter").value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("shared.hist").Snapshot().Count(),
+            kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(registry.GetGauge("gauge." + std::to_string(t)).value(),
+                     static_cast<double>(kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace thunderbolt::obs

@@ -1,0 +1,194 @@
+// End-to-end observability: a traced sim-pool batch run and a traced
+// cluster run must produce the spans/metrics the obs ISSUE promises —
+// one lifecycle span per committed transaction, abort-reason breakdowns
+// under contention, and cluster-level commit-path events.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/occ_engine.h"
+#include "ce/concurrency_controller.h"
+#include "ce/executor_pool.h"
+#include "contract/contract.h"
+#include "core/cluster.h"
+#include "obs/obs.h"
+#include "storage/kv_store.h"
+#include "workload/smallbank_workload.h"
+
+namespace thunderbolt {
+namespace {
+
+size_t CountKind(const std::vector<obs::TraceEvent>& events,
+                 obs::EventKind kind) {
+  size_t n = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+/// One high-contention SmallBank batch through the sim pool with `engine`.
+std::vector<obs::TraceEvent> RunTracedBatch(obs::Observability* obs,
+                                            bool use_occ,
+                                            uint32_t batch_size) {
+  workload::SmallBankConfig wc;
+  wc.num_accounts = 40;  // Tiny account pool -> heavy conflicts.
+  wc.theta = 0.95;
+  wc.seed = 7;
+  workload::SmallBankWorkload w(wc);
+  storage::MemKVStore store;
+  w.InitStore(&store);
+  auto registry = contract::Registry::CreateDefault();
+  auto batch = w.MakeBatch(batch_size);
+
+  std::unique_ptr<ce::ExecutorPool> pool =
+      ce::CreateExecutorPool("sim", 8, ce::ExecutionCostModel{});
+  pool->SetObs(ce::PoolObsContext{obs->tracer(), &obs->metrics(), 0});
+  std::unique_ptr<ce::BatchEngine> engine;
+  if (use_occ) {
+    engine = std::make_unique<baselines::OccEngine>(&store, batch_size);
+  } else {
+    engine = std::make_unique<ce::ConcurrencyController>(&store, batch_size);
+  }
+  auto r = pool->Run(*engine, *registry, batch);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r->order.size(), batch_size);  // Every txn committed.
+  return obs->ring()->Snapshot();
+}
+
+TEST(ObsPoolIntegrationTest, OneSpanPerCommittedTxnAndAbortReasons) {
+  obs::ObsOptions options;
+  options.trace = true;
+  obs::Observability obs(options);
+  const uint32_t batch_size = 200;
+  std::vector<obs::TraceEvent> events =
+      RunTracedBatch(&obs, /*use_occ=*/true, batch_size);
+
+  // Exactly one lifecycle span and one commit instant per transaction,
+  // plus one batch span.
+  EXPECT_EQ(CountKind(events, obs::EventKind::kTxnSpan), batch_size);
+  EXPECT_EQ(CountKind(events, obs::EventKind::kTxnCommit), batch_size);
+  EXPECT_EQ(CountKind(events, obs::EventKind::kBatchSpan), 1u);
+
+  // OCC at theta=0.95 on 40 accounts must restart transactions, and every
+  // restart event names its cause.
+  const size_t restarts = CountKind(events, obs::EventKind::kTxnRestart);
+  EXPECT_GT(restarts, 0u);
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::EventKind::kTxnRestart) {
+      EXPECT_EQ(e.reason, obs::AbortReason::kValidationFailure);
+    }
+  }
+
+  // The same breakdown lands in the metrics registry.
+  const obs::Counter* reason_counter =
+      obs.metrics().FindCounter("pool.sim.restart_reason.validation_failure");
+  ASSERT_NE(reason_counter, nullptr);
+  EXPECT_EQ(reason_counter->value(), restarts);
+  const obs::Counter* txns = obs.metrics().FindCounter("pool.sim.txns");
+  ASSERT_NE(txns, nullptr);
+  EXPECT_EQ(txns->value(), batch_size);
+  const obs::HistogramMetric* latency =
+      obs.metrics().FindHistogram("pool.sim.commit_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Snapshot().Count(), batch_size);
+}
+
+TEST(ObsPoolIntegrationTest, CcBreaksAbortsDownByConflictKind) {
+  obs::ObsOptions options;
+  options.trace = true;
+  obs::Observability obs(options);
+  std::vector<obs::TraceEvent> events =
+      RunTracedBatch(&obs, /*use_occ=*/false, 200);
+  // The CC reports kReadWriteConflict / kCascadeInvalidation, never OCC's
+  // validation failure.
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::EventKind::kTxnRestart) {
+      EXPECT_TRUE(e.reason == obs::AbortReason::kReadWriteConflict ||
+                  e.reason == obs::AbortReason::kCascadeInvalidation)
+          << static_cast<int>(e.reason);
+    }
+  }
+  EXPECT_EQ(obs.metrics().FindCounter(
+                "pool.sim.restart_reason.validation_failure"),
+            nullptr);
+}
+
+TEST(ObsClusterIntegrationTest, TracedClusterEmitsCommitPathEvents) {
+  core::ThunderboltConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 100;
+  cfg.seed = 21;
+  cfg.obs.trace = true;
+  cfg.obs.trace_capacity = 1u << 18;  // Large enough: no wraparound below.
+  workload::WorkloadOptions wo;
+  wo.num_records = 300;
+  wo.theta = 0.9;
+  wo.read_ratio = 0.5;
+  wo.cross_shard_ratio = 0.1;
+  wo.seed = 22;
+  core::Cluster cluster(cfg, "smallbank", wo);
+  core::ClusterResult r = cluster.Run(Seconds(2));
+  ASSERT_GT(r.committed_single, 0u);
+  ASSERT_GT(r.committed_cross, 0u);
+
+  ASSERT_NE(cluster.obs().ring(), nullptr);
+  EXPECT_EQ(cluster.obs().ring()->dropped(), 0u);
+  std::vector<obs::TraceEvent> events = cluster.obs().ring()->Snapshot();
+
+  // Every committed single-shard transaction was preplayed under a traced
+  // pool before its block committed, so the ring holds at least one
+  // lifecycle span per committed single-shard transaction.
+  EXPECT_GE(CountKind(events, obs::EventKind::kTxnSpan), r.committed_single);
+  // The observer records the commit path: validation replays and
+  // cross-shard execution spans.
+  EXPECT_GT(CountKind(events, obs::EventKind::kValidateSpan), 0u);
+  EXPECT_GT(CountKind(events, obs::EventKind::kCrossShardSpan), 0u);
+
+  // ClusterResult's abort-reason breakdown matches the trace's restart
+  // events (the sim pool records one kTxnRestart per counted abort). The
+  // breakdown spans every replica's pool, so it at least covers the
+  // observer-only preplay_aborts counter.
+  uint64_t reason_total = 0;
+  for (uint64_t count : r.abort_reasons) reason_total += count;
+  EXPECT_GT(reason_total, 0u);
+  EXPECT_GE(reason_total, r.preplay_aborts);
+  EXPECT_EQ(CountKind(events, obs::EventKind::kTxnRestart), reason_total);
+
+  // p999 is wired and ordered with the other percentiles.
+  EXPECT_GE(r.p999_latency_s, r.p99_latency_s);
+
+  // Cluster-level counters were surfaced into the registry.
+  const obs::Counter* committed =
+      cluster.obs().metrics().FindCounter("cluster.committed_single");
+  ASSERT_NE(committed, nullptr);
+  EXPECT_EQ(committed->value(), r.committed_single);
+  const obs::Counter* gets =
+      cluster.obs().metrics().FindCounter("store.gets");
+  ASSERT_NE(gets, nullptr);
+  EXPECT_GT(gets->value(), 0u);
+}
+
+TEST(ObsClusterIntegrationTest, TracingOffByDefaultAndNullSafe) {
+  core::ThunderboltConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 100;
+  cfg.seed = 23;
+  workload::WorkloadOptions wo;
+  wo.num_records = 300;
+  wo.seed = 24;
+  core::Cluster cluster(cfg, "smallbank", wo);
+  core::ClusterResult r = cluster.Run(Seconds(1));
+  EXPECT_GT(r.committed_single, 0u);
+  // No ring is allocated; the tracer is the shared no-op sink.
+  EXPECT_EQ(cluster.obs().ring(), nullptr);
+  EXPECT_FALSE(cluster.obs().tracer()->enabled());
+  // Metrics still work without tracing.
+  EXPECT_NE(cluster.obs().metrics().FindCounter("cluster.committed_single"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace thunderbolt

@@ -1,0 +1,112 @@
+// MetricsRegistry semantics: stable references, non-creating lookups,
+// deterministic JSON snapshots — plus the Histogram const-query contract
+// the registry relies on (Percentile/Min/Max never reorder samples_).
+#include "obs/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace thunderbolt::obs {
+namespace {
+
+TEST(MetricsRegistryTest, GetCounterReturnsStableReference) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("pool.restarts");
+  c.Inc();
+  c.Inc(4);
+  // Same name resolves to the same object; the value accumulated.
+  EXPECT_EQ(&registry.GetCounter("pool.restarts"), &c);
+  EXPECT_EQ(registry.GetCounter("pool.restarts").value(), 5u);
+  // A different name is a different metric.
+  EXPECT_NE(&registry.GetCounter("pool.batches"), &c);
+  EXPECT_EQ(registry.GetCounter("pool.batches").value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("store.live_keys");
+  g.Set(10.0);
+  g.Add(2.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("store.live_keys").value(), 12.5);
+  g.Set(-1.0);  // Last write wins.
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramObserveMergeSnapshot) {
+  MetricsRegistry registry;
+  HistogramMetric& h = registry.GetHistogram("latency_us");
+  h.Observe(1.0);
+  h.Observe(3.0);
+  Histogram local;
+  local.Add(2.0);
+  h.Merge(local);
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), 3u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Median(), 2.0);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("never.registered"), nullptr);
+  EXPECT_EQ(registry.FindGauge("never.registered"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("never.registered"), nullptr);
+  // The probe must not have materialized an entry in the snapshot.
+  EXPECT_EQ(registry.ToJson().find("never.registered"), std::string::npos);
+
+  Counter& c = registry.GetCounter("real");
+  c.Inc(7);
+  const Counter* found = registry.FindCounter("real");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &c);
+  EXPECT_EQ(found->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAndSorted) {
+  auto populate = [](MetricsRegistry* r) {
+    r->GetCounter("b.second").Inc(2);
+    r->GetCounter("a.first").Inc(1);
+    r->GetGauge("z.gauge").Set(1.5);
+    r->GetHistogram("m.hist").Observe(10.0);
+  };
+  MetricsRegistry r1, r2;
+  populate(&r1);
+  populate(&r2);
+  const std::string json = r1.ToJson();
+  // Same contents -> same bytes, regardless of registration order effects.
+  EXPECT_EQ(json, r2.ToJson());
+  // Keys appear in sorted order within each section.
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_NE(json.find("z.gauge"), std::string::npos);
+  EXPECT_NE(json.find("m.hist"), std::string::npos);
+  EXPECT_NE(json.find("counters"), std::string::npos);
+}
+
+// The registry snapshots histograms through const references; these
+// queries must be genuinely const: they sort a cache, never samples_.
+TEST(HistogramConstQueryTest, QueriesDoNotReorderSamples) {
+  Histogram h;
+  h.Add(3.0);
+  h.Add(1.0);
+  h.Add(2.0);
+  const Histogram& view = h;
+  EXPECT_DOUBLE_EQ(view.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(view.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(view.Median(), 2.0);
+  EXPECT_DOUBLE_EQ(view.Percentile(100.0), 3.0);
+  // Insertion order survives every query above.
+  ASSERT_EQ(view.samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(view.samples()[0], 3.0);
+  EXPECT_DOUBLE_EQ(view.samples()[1], 1.0);
+  EXPECT_DOUBLE_EQ(view.samples()[2], 2.0);
+  // The cache invalidates on mutation: new samples show up in queries.
+  h.Add(0.5);
+  EXPECT_DOUBLE_EQ(view.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(view.samples().back(), 0.5);
+}
+
+}  // namespace
+}  // namespace thunderbolt::obs

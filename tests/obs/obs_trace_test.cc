@@ -1,0 +1,179 @@
+// RingTracer behavior (bounded wraparound, drop accounting) and the Chrome
+// trace-event JSON export: every event serializes, spans become "X" records
+// with a duration, instants become "i", and the whole document stays
+// structurally well-formed (the CI smoke leg additionally runs it through
+// `python3 -m json.tool`).
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thunderbolt::obs {
+namespace {
+
+TraceEvent MakeEvent(uint64_t ts, EventKind kind = EventKind::kTxnCommit) {
+  TraceEvent e;
+  e.kind = kind;
+  e.ts_us = ts;
+  e.txn = ts;
+  return e;
+}
+
+/// Structural JSON check: quote-aware brace/bracket balance plus no
+/// dangling comma before a closer. Not a full parser, but catches the
+/// classic emission bugs (trailing comma, unterminated string, unbalanced
+/// nesting) without a JSON dependency.
+bool LooksLikeWellFormedJson(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  char prev_significant = '\0';
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // Skip the escaped character.
+      } else if (c == '"') {
+        in_string = false;
+        prev_significant = '"';
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        if (prev_significant == ',') return false;  // Trailing comma.
+        stack.pop_back();
+        break;
+      default: break;
+    }
+    if (c != ' ' && c != '\n' && c != '\t' && c != '\r') {
+      prev_significant = c;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceEnumsTest, NamesAndSpanKinds) {
+  EXPECT_STREQ(AbortReasonName(AbortReason::kValidationFailure),
+               "validation_failure");
+  EXPECT_STREQ(AbortReasonName(AbortReason::kReadWriteConflict),
+               "read_write_conflict");
+  EXPECT_TRUE(IsSpanKind(EventKind::kTxnSpan));
+  EXPECT_TRUE(IsSpanKind(EventKind::kBatchSpan));
+  EXPECT_TRUE(IsSpanKind(EventKind::kValidateSpan));
+  EXPECT_FALSE(IsSpanKind(EventKind::kTxnCommit));
+  EXPECT_FALSE(IsSpanKind(EventKind::kCrash));
+}
+
+TEST(NullTracerTest, DisabledAndStateless) {
+  Tracer* null_tracer = NullTracerInstance();
+  ASSERT_NE(null_tracer, nullptr);
+  EXPECT_FALSE(null_tracer->enabled());
+  // Process-wide singleton: every call returns the same sink.
+  EXPECT_EQ(NullTracerInstance(), null_tracer);
+  null_tracer->Record(MakeEvent(1));  // No-op, must not crash.
+}
+
+TEST(RingTracerTest, RecordsUpToCapacity) {
+  RingTracer tracer(4);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (uint64_t i = 1; i <= 3; ++i) tracer.Record(MakeEvent(i));
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.total_recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().ts_us, 1u);  // Oldest first.
+  EXPECT_EQ(events.back().ts_us, 3u);
+}
+
+TEST(RingTracerTest, WraparoundKeepsMostRecent) {
+  RingTracer tracer(4);
+  for (uint64_t i = 1; i <= 10; ++i) tracer.Record(MakeEvent(i));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The last `capacity` events, oldest-to-newest.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_us, 7u + i);
+  }
+}
+
+TEST(RingTracerTest, ClearResets) {
+  RingTracer tracer(4);
+  tracer.Record(MakeEvent(1));
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(ChromeJsonTest, SpanAndInstantEvents) {
+  TraceEvent span;
+  span.kind = EventKind::kTxnSpan;
+  span.pid = 2;
+  span.tid = 5;
+  span.ts_us = 100;
+  span.dur_us = 40;
+  span.txn = 77;
+  const std::string span_json = EventToChromeJson(span);
+  EXPECT_NE(span_json.find("\"ph\":\"X\""), std::string::npos) << span_json;
+  EXPECT_NE(span_json.find("\"dur\":40"), std::string::npos);
+  EXPECT_NE(span_json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(span_json.find("\"tid\":5"), std::string::npos);
+  EXPECT_TRUE(LooksLikeWellFormedJson(span_json));
+
+  TraceEvent restart;
+  restart.kind = EventKind::kTxnRestart;
+  restart.reason = AbortReason::kCascadeInvalidation;
+  restart.ts_us = 10;
+  const std::string instant_json = EventToChromeJson(restart);
+  EXPECT_NE(instant_json.find("\"ph\":\"i\""), std::string::npos)
+      << instant_json;
+  EXPECT_NE(instant_json.find("cascade_invalidation"), std::string::npos);
+  EXPECT_TRUE(LooksLikeWellFormedJson(instant_json));
+}
+
+TEST(ChromeJsonTest, FullExportWellFormed) {
+  RingTracer tracer(8);
+  // One of every kind, wrapping the ring once on top.
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kCrash); ++k) {
+    TraceEvent e = MakeEvent(k + 1, static_cast<EventKind>(k));
+    e.reason = k == static_cast<uint8_t>(EventKind::kTxnRestart)
+                   ? AbortReason::kReadWriteConflict
+                   : AbortReason::kNone;
+    e.dur_us = 5;
+    tracer.Record(e);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_TRUE(LooksLikeWellFormedJson(json)) << json;
+
+  // An empty ring still exports a loadable document.
+  RingTracer empty(4);
+  EXPECT_TRUE(LooksLikeWellFormedJson(empty.ToChromeJson()));
+}
+
+TEST(ChromeJsonTest, DeterministicForSameEvents) {
+  auto fill = [](RingTracer* t) {
+    for (uint64_t i = 0; i < 6; ++i) {
+      t->Record(MakeEvent(i, i % 2 == 0 ? EventKind::kTxnSpan
+                                        : EventKind::kTxnCommit));
+    }
+  };
+  RingTracer a(4), b(4);
+  fill(&a);
+  fill(&b);
+  EXPECT_EQ(a.ToChromeJson(), b.ToChromeJson());
+}
+
+}  // namespace
+}  // namespace thunderbolt::obs
