@@ -102,6 +102,9 @@ struct SweepResult {
   double p50_latency_us = 0;
   double p99_latency_us = 0;
   double p999_latency_us = 0;
+  /// Samples behind the percentiles. 0 means an idle cell: the percentile
+  /// fields carry no information (JSON emits null, the table prints "-").
+  uint64_t latency_samples = 0;
   double re_execs_per_txn = 0;
   /// Fraction of generated transactions classified cross-shard by the
   /// placement policy (0 with --shards 1).
@@ -229,6 +232,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   out.p50_latency_us = latency_us.Percentile(50.0);
   out.p99_latency_us = latency_us.Percentile(99.0);
   out.p999_latency_us = latency_us.Percentile(99.9);
+  out.latency_samples = latency_us.Count();
   out.re_execs_per_txn =
       out.txns == 0 ? 0
                     : static_cast<double>(out.aborts) /
@@ -254,6 +258,14 @@ bool WriteResultsJson(const std::string& path,
                config.executors, config.runs, config.records, config.shards,
                bench::JsonEscape(config.placement.policy).c_str(),
                bench::JsonEscape(config.store.name).c_str());
+  // Percentiles over zero samples are meaningless, not zero: an idle cell
+  // emits null so downstream tooling cannot mistake it for a fast run.
+  auto latency_or_null = [](const SweepResult& r, double value) {
+    if (r.latency_samples == 0) return std::string("null");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return std::string(buf);
+  };
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     std::fprintf(
@@ -261,14 +273,16 @@ bool WriteResultsJson(const std::string& path,
         "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
         "\"pool\": \"%s\", \"threads\": %u, "
         "\"batch_size\": %u, \"theta\": %.3f, \"txns\": %" PRIu64
-        ", \"tps\": %.1f, \"p50_latency_us\": %.1f, \"p99_latency_us\": "
-        "%.1f, \"p999_latency_us\": %.1f, \"aborts\": %" PRIu64
+        ", \"tps\": %.1f, \"latency_samples\": %" PRIu64
+        ", \"p50_latency_us\": %s, \"p99_latency_us\": "
+        "%s, \"p999_latency_us\": %s, \"aborts\": %" PRIu64
         ", \"abort_reasons\": {",
         i == 0 ? "" : ",", bench::JsonEscape(r.workload).c_str(),
         bench::JsonEscape(r.engine).c_str(), bench::JsonEscape(r.pool).c_str(),
-        r.threads, r.batch_size, r.theta, r.txns,
-        r.tps, r.p50_latency_us, r.p99_latency_us, r.p999_latency_us,
-        r.aborts);
+        r.threads, r.batch_size, r.theta, r.txns, r.tps, r.latency_samples,
+        latency_or_null(r, r.p50_latency_us).c_str(),
+        latency_or_null(r, r.p99_latency_us).c_str(),
+        latency_or_null(r, r.p999_latency_us).c_str(), r.aborts);
     // kNone (index 0) never reaches the callback; emit the real causes.
     for (size_t reason = 1; reason < obs::kNumAbortReasons; ++reason) {
       std::fprintf(
@@ -476,9 +490,15 @@ int main(int argc, char** argv) {
                          bench::FmtInt(cell->threads),
                          bench::FmtInt(cell->batch_size),
                          bench::Fmt(cell->theta, 2), bench::Fmt(cell->tps, 0),
-                         bench::Fmt(cell->p50_latency_us, 1),
-                         bench::Fmt(cell->p99_latency_us, 1),
-                         bench::Fmt(cell->p999_latency_us, 1),
+                         cell->latency_samples == 0
+                             ? "-"
+                             : bench::Fmt(cell->p50_latency_us, 1),
+                         cell->latency_samples == 0
+                             ? "-"
+                             : bench::Fmt(cell->p99_latency_us, 1),
+                         cell->latency_samples == 0
+                             ? "-"
+                             : bench::Fmt(cell->p999_latency_us, 1),
                          bench::Fmt(cell->re_execs_per_txn, 3),
                          bench::Fmt(cell->cross_frac, 3),
                          cell->invariant_ok ? "ok" : "VIOLATED"});

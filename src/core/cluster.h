@@ -38,6 +38,10 @@ struct ClusterResult {
   double p50_latency_s = 0;
   double p99_latency_s = 0;
   double p999_latency_s = 0;
+  /// Commit-latency samples behind the percentiles above. When 0 (an idle
+  /// window) the percentile fields are meaningless — consumers must treat
+  /// them as absent, not as "0 seconds" (bench JSON emits null).
+  uint64_t latency_samples = 0;
   /// Preplay aborts in this window broken down by cause, indexed by
   /// obs::AbortReason (window delta of the pools' restart_reason metrics).
   std::array<uint64_t, obs::kNumAbortReasons> abort_reasons{};
@@ -116,10 +120,12 @@ class Cluster {
   /// declared after workload_ so the locality policy's hint — which calls
   /// back into the workload — never outlives it.
   std::shared_ptr<placement::PlacementPolicy> placement_;
+  /// Declared before shared_: the canonical store's backend may trace into
+  /// the bundle (a "wal" store flushes + records a final wal.append span at
+  /// destruction), so the tracer must outlive it.
+  std::unique_ptr<obs::Observability> obs_;
   std::unique_ptr<SharedClusterState> shared_;
   std::unique_ptr<ClusterMetrics> metrics_;
-  /// Declared before nodes_: every node holds a raw pointer into it.
-  std::unique_ptr<obs::Observability> obs_;
   std::vector<std::unique_ptr<ThunderboltNode>> nodes_;
   bool started_ = false;
   /// Cursor into metrics_->samples for window accounting across Run calls.

@@ -60,10 +60,13 @@ struct ThunderboltConfig {
   bool use_skip_blocks = false;
 
   // --- Storage ---------------------------------------------------------------
-  /// Canonical committed-store backend, by storage::StoreRegistry name
-  /// ("mem", "sorted", "cow"). "mem" is the historical default (hash map,
-  /// byte-identical determinism baselines); "cow" makes snapshot/fork
-  /// O(1) structural sharing.
+  /// Canonical committed-store backend, as a storage::StoreRegistry spec:
+  /// a plain name ("mem", "sorted", "cow") or a parametrized wrapper spec
+  /// ("cached:capacity=4096,inner=sorted", "wal:group_commit=4,
+  /// inner=sorted"). "mem" is the historical default (hash map,
+  /// byte-identical determinism baselines); "cow" makes snapshot/fork O(1)
+  /// structural sharing; "wal" adds a group-committed durability log with
+  /// crash recovery (see storage/wal_kv_store.h).
   std::string store = "mem";
 
   // --- Placement -------------------------------------------------------------

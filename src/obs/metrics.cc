@@ -107,6 +107,12 @@ std::string MetricsRegistry::ToJson() const {
     out += "    ";
     AppendQuoted(out, name);
     out += ": {\"count\": " + std::to_string(h.Count());
+    if (h.Count() == 0) {
+      // An empty histogram has no percentiles: emitting the usual 0.0
+      // stats would be indistinguishable from a genuinely instant run.
+      out += "}";
+      continue;
+    }
     out += ", \"mean\": " + FormatDouble(h.Mean());
     out += ", \"min\": " + FormatDouble(h.Min());
     out += ", \"p50\": " + FormatDouble(h.Percentile(50.0));

@@ -99,7 +99,9 @@ class MetricsRegistry {
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
   /// p50,p99,p999,max}, ...}} with keys sorted. Deterministic for equal
-  /// metric values.
+  /// metric values. An empty histogram serializes as {"count": 0} with the
+  /// stats fields omitted — 0.0 percentiles would be indistinguishable
+  /// from a genuinely instant run.
   std::string ToJson() const;
 
   /// Writes ToJson() to `path`. Returns false on IO failure.

@@ -46,6 +46,12 @@ const char* EventKindName(EventKind kind) {
       return "migration";
     case EventKind::kCrash:
       return "crash";
+    case EventKind::kWalAppend:
+      return "wal_append";
+    case EventKind::kWalCheckpoint:
+      return "wal_checkpoint";
+    case EventKind::kWalRecover:
+      return "wal_recover";
   }
   return "unknown";
 }
@@ -56,6 +62,9 @@ bool IsSpanKind(EventKind kind) {
     case EventKind::kBatchSpan:
     case EventKind::kValidateSpan:
     case EventKind::kCrossShardSpan:
+    case EventKind::kWalAppend:
+    case EventKind::kWalCheckpoint:
+    case EventKind::kWalRecover:
       return true;
     default:
       return false;

@@ -64,6 +64,9 @@ enum class EventKind : uint8_t {
   kReconfiguration, // Instant: reconfiguration (DAG switch) completed.
   kMigration,       // Instant: hot-key migration batch applied.
   kCrash,           // Instant: replica crashed.
+  kWalAppend,       // Span: one WAL group-commit barrier (buffered frames flushed).
+  kWalCheckpoint,   // Span: checkpoint written + log truncated.
+  kWalRecover,      // Span: recovery replay (checkpoint load + log suffix).
 };
 
 /// Trace-viewer name for the kind ("txn", "commit", "restart", ...).
@@ -80,6 +83,9 @@ const char* EventKindName(EventKind kind);
 ///   kCrossShardSpan: a = txn count, b = remote accesses
 ///   kEpochFence / kReconfiguration: a = epoch, b = ending round
 ///   kMigration:   a = epoch, b = moved key count
+///   kWalAppend:   a = frames flushed, b = bytes flushed
+///   kWalCheckpoint: a = entries written, b = last sequence covered
+///   kWalRecover:  a = checkpoint entries restored, b = log frames replayed
 struct TraceEvent {
   EventKind kind = EventKind::kTxnSpan;
   AbortReason reason = AbortReason::kNone;

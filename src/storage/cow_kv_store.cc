@@ -135,6 +135,17 @@ NodePtr Upsert(const NodePtr& root, const Key& key, Value value) {
   return Merge(Merge(less, fresh), geq);
 }
 
+/// Upserts `key` with an exact VersionedValue (no version bump) — the
+/// RestoreEntry path. Path-copies a live key's spine; inserts otherwise.
+NodePtr UpsertExact(const NodePtr& root, const Key& key,
+                    const VersionedValue& vv) {
+  NodePtr less, geq, node, greater;
+  SplitLess(root, key, &less, &geq);
+  SplitLeq(geq, key, &node, &greater);
+  NodePtr fresh = MakeNode(key, vv, Prio(key), nullptr, nullptr);
+  return Merge(Merge(less, fresh), greater);
+}
+
 /// Removes `key` if present.
 NodePtr Erase(const NodePtr& root, const Key& key) {
   if (Find(root, key) == nullptr) return root;  // Keep full sharing.
@@ -245,6 +256,11 @@ Status CowKVStore::Write(const WriteBatch& batch) {
       root_ = Upsert(root_, e.key, e.value);
     }
   }
+  return Status::OK();
+}
+
+Status CowKVStore::RestoreEntry(const Key& key, const VersionedValue& vv) {
+  root_ = UpsertExact(root_, key, vv);
   return Status::OK();
 }
 

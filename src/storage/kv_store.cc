@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "storage/cached_kv_store.h"
 #include "storage/cow_kv_store.h"
 #include "storage/sorted_kv_store.h"
+#include "storage/wal_kv_store.h"
 
 namespace thunderbolt::storage {
 
@@ -115,6 +117,11 @@ Status MemKVStore::Write(const WriteBatch& batch) {
   return Status::OK();
 }
 
+Status MemKVStore::RestoreEntry(const Key& key, const VersionedValue& vv) {
+  map_[key] = vv;
+  return Status::OK();
+}
+
 std::vector<ScanEntry> MemKVStore::Scan(const Key& begin, const Key& end,
                                         size_t limit) const {
   ++counters_.scans;
@@ -177,22 +184,75 @@ StoreStats MemKVStore::Stats() const {
 
 // --- StoreRegistry ----------------------------------------------------------
 
+std::vector<std::pair<std::string, std::string>> ParseStoreParams(
+    const std::string& params) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < params.size()) {
+    const size_t eq = params.find('=', pos);
+    const size_t comma = params.find(',', pos);
+    if (eq == std::string::npos || (comma != std::string::npos && comma < eq)) {
+      // Malformed segment without '=': surface it with an empty value so
+      // factories can reject it instead of silently dropping it.
+      const size_t end = comma == std::string::npos ? params.size() : comma;
+      out.emplace_back(params.substr(pos, end - pos), std::string());
+      pos = end == params.size() ? end : end + 1;
+      continue;
+    }
+    const std::string key = params.substr(pos, eq - pos);
+    if (key == "inner") {
+      // `inner` consumes the rest of the string: its value is a full spec
+      // that may itself contain ',' and ':' (nested wrappers).
+      out.emplace_back(key, params.substr(eq + 1));
+      break;
+    }
+    const size_t end = comma == std::string::npos ? params.size() : comma;
+    out.emplace_back(key, params.substr(eq + 1, end - (eq + 1)));
+    pos = end == params.size() ? end : end + 1;
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits "name:params" at the first ':'; plain names pass through with
+/// empty params.
+void SplitSpec(const std::string& spec, std::string* name,
+               std::string* params) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    *name = spec;
+    params->clear();
+  } else {
+    *name = spec.substr(0, colon);
+    *params = spec.substr(colon + 1);
+  }
+}
+
+}  // namespace
+
 void StoreRegistry::Register(std::string name, Factory factory) {
   factories_[std::move(name)] = std::move(factory);
 }
 
 std::unique_ptr<KVStore> StoreRegistry::Create(
-    const std::string& name, const StoreOptions& options) const {
+    const std::string& spec, const StoreOptions& options) const {
+  std::string name, params;
+  SplitSpec(spec, &name, &params);
   auto it = factories_.find(name);
   if (it == factories_.end()) return nullptr;
-  std::unique_ptr<KVStore> store = it->second(options);
-  if (store != nullptr && options.expected_keys > 0) {
-    store->Reserve(options.expected_keys);
+  StoreOptions opts = options;
+  if (!params.empty()) opts.params = params;
+  std::unique_ptr<KVStore> store = it->second(opts);
+  if (store != nullptr && opts.expected_keys > 0) {
+    store->Reserve(opts.expected_keys);
   }
   return store;
 }
 
-bool StoreRegistry::Contains(const std::string& name) const {
+bool StoreRegistry::Contains(const std::string& spec) const {
+  std::string name, params;
+  SplitSpec(spec, &name, &params);
   return factories_.find(name) != factories_.end();
 }
 
@@ -216,6 +276,12 @@ StoreRegistry& StoreRegistry::Global() {
     });
     r->Register("cow", [](const StoreOptions&) {
       return std::unique_ptr<KVStore>(new CowKVStore());
+    });
+    r->Register("cached", [](const StoreOptions& options) {
+      return CachedKVStore::FromOptions(options);
+    });
+    r->Register("wal", [](const StoreOptions& options) {
+      return WalKVStore::FromOptions(options);
     });
     return r;
   }();

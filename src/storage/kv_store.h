@@ -30,6 +30,19 @@
 //   cow     Persistent copy-on-write treap (cow_kv_store.h): Snapshot()
 //           and Fork() are O(1) structural sharing — the backend for
 //           validation-style workloads that fork state per block.
+//   cached  Bounded LRU row cache layered over another backend
+//           (cached_kv_store.h): point reads hit the cache, writes
+//           invalidate; hit/miss counters in Stats().
+//   wal     Append-only CRC-framed group-committed log + checkpoints over
+//           another backend (wal_kv_store.h): survives kill -9 via replay,
+//           tolerating a torn tail.
+//
+// Backend *specs* extend plain names with parameters:
+// "wal:group_commit=4,inner=cached:capacity=512,inner=sorted" — everything
+// after the first ':' goes to the factory as StoreOptions::params (see
+// ParseStoreParams). The `inner=` key, when present, must come last: its
+// value is itself a full spec, consuming the rest of the string, which is
+// what makes wrapper nesting expressible without quoting.
 #ifndef THUNDERBOLT_STORAGE_KV_STORE_H_
 #define THUNDERBOLT_STORAGE_KV_STORE_H_
 
@@ -45,6 +58,10 @@
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
+
+namespace thunderbolt::obs {
+class Tracer;  // obs/trace.h; wrapper backends emit wal.* spans through it.
+}  // namespace thunderbolt::obs
 
 namespace thunderbolt::storage {
 
@@ -135,6 +152,16 @@ struct StoreStats {
   uint64_t scans = 0;        // Scan() calls (store-level).
   uint64_t snapshots = 0;    // Snapshot() calls.
   uint64_t forks = 0;        // Fork() calls.
+
+  // Wrapper-backend fields: zero unless a "cached" / "wal" layer is in the
+  // stack (wrappers merge these up from their inner store, so the outermost
+  // Stats() sees the whole stack).
+  uint64_t cache_hits = 0;          // cached: point reads served from cache.
+  uint64_t cache_misses = 0;        // cached: point reads forwarded to inner.
+  uint64_t wal_appends = 0;         // wal: frames appended to the log.
+  uint64_t wal_syncs = 0;           // wal: group-commit flush barriers.
+  uint64_t wal_checkpoints = 0;     // wal: checkpoints written.
+  uint64_t wal_recovered_records = 0;  // wal: entries+frames replayed at open.
 };
 
 /// Atomic twin of the StoreStats counter fields, used as the backends'
@@ -142,6 +169,19 @@ struct StoreStats {
 /// makes the counters the one piece of store state mutated under
 /// concurrent readers (thread executor pool workers all read the base
 /// view); atomics keep that race-free without serializing reads.
+///
+/// Read-side tearing contract: ToStats() loads each atomic independently
+/// with relaxed ordering — it is NOT a consistent cut across counters.
+/// Under concurrent mutation a snapshot can pair a newer value of one
+/// counter with an older value of another (e.g. cache_hits incremented by
+/// an in-flight Get whose `gets` bump the snapshot missed, momentarily
+/// showing hits + misses > gets). What IS guaranteed: each individual
+/// counter is monotone non-decreasing across successive snapshots, no load
+/// ever observes a torn/partial value, and a quiescent store snapshots
+/// exactly. Derived cross-counter identities (hit-rate denominators,
+/// hits + misses == gets) therefore only hold at quiescence — assert them
+/// after joining workers, never mid-run. store_counters_concurrency_test
+/// runs this contract under TSan.
 struct StoreCounters {
   std::atomic<uint64_t> gets{0};
   std::atomic<uint64_t> puts{0};
@@ -150,6 +190,12 @@ struct StoreCounters {
   std::atomic<uint64_t> scans{0};
   std::atomic<uint64_t> snapshots{0};
   std::atomic<uint64_t> forks{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_syncs{0};
+  std::atomic<uint64_t> wal_checkpoints{0};
+  std::atomic<uint64_t> wal_recovered_records{0};
 
   // Copyable (atomics are not, by default) so stores keep their implicit
   // copy/move — e.g. MemKVStore::Clone returning by value. Copying is only
@@ -164,11 +210,18 @@ struct StoreCounters {
     scans = other.scans.load(std::memory_order_relaxed);
     snapshots = other.snapshots.load(std::memory_order_relaxed);
     forks = other.forks.load(std::memory_order_relaxed);
+    cache_hits = other.cache_hits.load(std::memory_order_relaxed);
+    cache_misses = other.cache_misses.load(std::memory_order_relaxed);
+    wal_appends = other.wal_appends.load(std::memory_order_relaxed);
+    wal_syncs = other.wal_syncs.load(std::memory_order_relaxed);
+    wal_checkpoints = other.wal_checkpoints.load(std::memory_order_relaxed);
+    wal_recovered_records =
+        other.wal_recovered_records.load(std::memory_order_relaxed);
     return *this;
   }
 
   /// Snapshot into the plain struct (`backend`/`live_keys` are filled in
-  /// by the store's Stats()).
+  /// by the store's Stats()). Subject to the tearing contract above.
   StoreStats ToStats() const {
     StoreStats stats;
     stats.gets = gets.load(std::memory_order_relaxed);
@@ -178,6 +231,13 @@ struct StoreCounters {
     stats.scans = scans.load(std::memory_order_relaxed);
     stats.snapshots = snapshots.load(std::memory_order_relaxed);
     stats.forks = forks.load(std::memory_order_relaxed);
+    stats.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    stats.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    stats.wal_appends = wal_appends.load(std::memory_order_relaxed);
+    stats.wal_syncs = wal_syncs.load(std::memory_order_relaxed);
+    stats.wal_checkpoints = wal_checkpoints.load(std::memory_order_relaxed);
+    stats.wal_recovered_records =
+        wal_recovered_records.load(std::memory_order_relaxed);
     return stats;
   }
 };
@@ -197,8 +257,24 @@ class KVStore : public ReadView {
   /// version at 1. Deleting an absent key is a no-op.
   virtual Status Delete(const Key& key) = 0;
 
-  /// Atomically applies all entries in the batch, in order.
+  /// Atomically applies all entries in the batch, in order — a later entry
+  /// for the same key wins (last-op-wins), every put bumps the version, a
+  /// delete then re-put within one batch restarts the version at 1 exactly
+  /// as the split point operations would. Pinned across every backend by
+  /// the conformance battery's SameKeyBatchOrdering case.
   virtual Status Write(const WriteBatch& batch) = 0;
+
+  /// Writes `key` with an exact value AND version, bypassing the bump
+  /// semantics of Put. This is the checkpoint/recovery restore path: the
+  /// "wal" backend must reconstruct versions byte-identically (OCC
+  /// validation depends on them), which Put's version-bump cannot express.
+  /// Not a general-purpose API — normal writers use Put/Write.
+  virtual Status RestoreEntry(const Key& key, const VersionedValue& vv) = 0;
+
+  /// Durability barrier: flushes any buffered writes to stable storage.
+  /// Volatile backends are trivially durable-to-their-lifetime and return
+  /// OK; the "wal" backend flushes its group-commit buffer.
+  virtual Status Flush() { return Status::OK(); }
 
   /// All entries with `begin` <= key < `end`, ascending by key. An empty
   /// `end` means "to the last key"; `limit` 0 means unlimited. Backends
@@ -244,6 +320,7 @@ class MemKVStore final : public KVStore {
   Status Put(const Key& key, Value value) override;
   Status Delete(const Key& key) override;
   Status Write(const WriteBatch& batch) override;
+  Status RestoreEntry(const Key& key, const VersionedValue& vv) override;
   size_t size() const override { return map_.size(); }
   std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
                               size_t limit = 0) const override;
@@ -294,24 +371,53 @@ std::shared_ptr<const StoreSnapshot> MakeOrderedSnapshot(
 struct StoreOptions {
   /// Capacity hint forwarded to Reserve() on construction (0 = none).
   size_t expected_keys = 0;
+
+  /// Backend-specific parameters, the part of a spec after the first ':'
+  /// ("group_commit=4,inner=sorted"). Plain backends ignore it; wrappers
+  /// parse it with ParseStoreParams.
+  std::string params;
+
+  /// Trace sink for wal.append / wal.checkpoint / wal.recover spans.
+  /// nullptr means untraced (wrappers fall back to the null tracer).
+  obs::Tracer* tracer = nullptr;
+
+  /// Clock for span timestamps, in microseconds. The cluster wires the
+  /// deterministic SimTime clock here so store spans land on the same
+  /// timeline as the txn/batch spans; absent, spans carry ts 0.
+  std::function<uint64_t()> now_us;
 };
+
+/// Splits a params string ("a=1,b=2,inner=wal:inner=mem") into key/value
+/// pairs in order. `inner` is the one recursive key: its value is a full
+/// backend spec, so it consumes the remainder of the string and must come
+/// last. Malformed segments (no '=') are returned with an empty value.
+std::vector<std::pair<std::string, std::string>> ParseStoreParams(
+    const std::string& params);
 
 /// Name -> factory registry, mirroring workload::WorkloadRegistry and
 /// placement::PlacementRegistry. `Global()` is preloaded with the built-in
-/// backends ("mem", "sorted", "cow").
+/// backends ("mem", "sorted", "cow", "cached", "wal").
+///
+/// Create/Contains accept full *specs*: "wal:inner=sorted" resolves the
+/// factory registered as "wal" and passes "inner=sorted" through
+/// StoreOptions::params (any params already present in `options` are
+/// overwritten by the spec's).
 class StoreRegistry {
  public:
   using Factory =
       std::function<std::unique_ptr<KVStore>(const StoreOptions&)>;
 
-  /// Registers `factory` under `name`. Overwrites any existing entry.
+  /// Registers `factory` under `name` (a plain name, no ':'). Overwrites
+  /// any existing entry.
   void Register(std::string name, Factory factory);
 
-  /// Instantiates the named backend, or nullptr for unknown names.
-  std::unique_ptr<KVStore> Create(const std::string& name,
+  /// Instantiates the backend named by `spec` (plain name or
+  /// "name:params"), or nullptr for unknown names.
+  std::unique_ptr<KVStore> Create(const std::string& spec,
                                   const StoreOptions& options = {}) const;
 
-  bool Contains(const std::string& name) const;
+  /// True when the spec's base name is registered (params unvalidated).
+  bool Contains(const std::string& spec) const;
 
   /// Registered names, sorted.
   std::vector<std::string> Names() const;

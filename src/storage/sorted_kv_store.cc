@@ -47,6 +47,11 @@ Status SortedKVStore::Write(const WriteBatch& batch) {
   return Status::OK();
 }
 
+Status SortedKVStore::RestoreEntry(const Key& key, const VersionedValue& vv) {
+  map_[key] = vv;
+  return Status::OK();
+}
+
 std::vector<ScanEntry> SortedKVStore::Scan(const Key& begin, const Key& end,
                                            size_t limit) const {
   ++counters_.scans;

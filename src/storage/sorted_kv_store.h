@@ -24,6 +24,7 @@ class SortedKVStore final : public KVStore {
   Status Put(const Key& key, Value value) override;
   Status Delete(const Key& key) override;
   Status Write(const WriteBatch& batch) override;
+  Status RestoreEntry(const Key& key, const VersionedValue& vv) override;
   size_t size() const override { return map_.size(); }
   std::vector<ScanEntry> Scan(const Key& begin, const Key& end,
                               size_t limit = 0) const override;

@@ -85,6 +85,27 @@ TEST(MetricsRegistryTest, ToJsonIsDeterministicAndSorted) {
   EXPECT_NE(json.find("counters"), std::string::npos);
 }
 
+// Empty histograms must not fabricate statistics: a registered-but-never-
+// observed histogram snapshots as {"count": 0} alone, since 0.0
+// percentiles would be indistinguishable from a genuinely instant run.
+TEST(MetricsRegistryTest, EmptyHistogramOmitsPercentiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("cluster.commit_latency_us");
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"cluster.commit_latency_us\": {\"count\": 0}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("mean"), std::string::npos) << json;
+  EXPECT_EQ(json.find("p50"), std::string::npos) << json;
+
+  // One observation restores the full stats block.
+  registry.GetHistogram("cluster.commit_latency_us").Observe(2.0);
+  const std::string with_sample = registry.ToJson();
+  EXPECT_NE(with_sample.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(with_sample.find("\"p50\""), std::string::npos);
+  EXPECT_NE(with_sample.find("\"mean\""), std::string::npos);
+}
+
 // The registry snapshots histograms through const references; these
 // queries must be genuinely const: they sort a cache, never samples_.
 TEST(HistogramConstQueryTest, QueriesDoNotReorderSamples) {

@@ -193,8 +193,8 @@ TEST(MemKVStoreTest, ForkMatchesCloneSemantics) {
 
 TEST(StoreRegistryTest, GlobalKnowsAllBuiltins) {
   StoreRegistry& registry = StoreRegistry::Global();
-  EXPECT_EQ(registry.Names(),
-            (std::vector<std::string>{"cow", "mem", "sorted"}));
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{
+                                  "cached", "cow", "mem", "sorted", "wal"}));
   for (const std::string& name : registry.Names()) {
     std::unique_ptr<KVStore> store = registry.Create(name);
     ASSERT_NE(store, nullptr);
@@ -203,6 +203,113 @@ TEST(StoreRegistryTest, GlobalKnowsAllBuiltins) {
   }
   EXPECT_EQ(registry.Create("leveldb"), nullptr);
   EXPECT_FALSE(registry.Contains("leveldb"));
+}
+
+TEST(StoreRegistryTest, SpecSyntaxResolvesBaseNameAndParams) {
+  StoreRegistry& registry = StoreRegistry::Global();
+  // Contains validates the base name only; params are the factory's job.
+  EXPECT_TRUE(registry.Contains("cached:capacity=16,inner=sorted"));
+  EXPECT_TRUE(registry.Contains("wal:group_commit=4,inner=mem"));
+  EXPECT_FALSE(registry.Contains("rocksdb:path=/tmp/x"));
+
+  std::unique_ptr<KVStore> store =
+      registry.Create("cached:capacity=16,inner=sorted");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->name(), "cached");
+
+  // Unknown params are a configuration error, not silently ignored.
+  EXPECT_EQ(registry.Create("cached:capactiy=16"), nullptr);
+  EXPECT_EQ(registry.Create("wal:fsycn=1"), nullptr);
+}
+
+TEST(StoreRegistryTest, ParseStoreParamsSplitsPairsAndNestsInner) {
+  auto params = ParseStoreParams("capacity=16,inner=wal:group_commit=2");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "capacity");
+  EXPECT_EQ(params[0].second, "16");
+  // `inner` swallows the rest of the string: nested specs carry their own
+  // commas and must reach the inner factory intact.
+  EXPECT_EQ(params[1].first, "inner");
+  EXPECT_EQ(params[1].second, "wal:group_commit=2");
+
+  EXPECT_TRUE(ParseStoreParams("").empty());
+  // A bare key (no '=') surfaces with an empty value so factories can
+  // reject it by name instead of silently dropping it.
+  auto bare = ParseStoreParams("fsync");
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_EQ(bare[0].first, "fsync");
+  EXPECT_EQ(bare[0].second, "");
+}
+
+TEST(CachedKVStoreTest, CountsHitsAndMissesAndEvicts) {
+  std::unique_ptr<KVStore> store =
+      StoreRegistry::Global().Create("cached:capacity=2,inner=mem");
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->Put("a", 1).ok());
+  ASSERT_TRUE(store->Put("b", 2).ok());
+  ASSERT_TRUE(store->Put("c", 3).ok());
+
+  // Cold cache: first reads miss, repeats hit.
+  EXPECT_EQ(store->GetOrDefault("a", 0), 1);
+  EXPECT_EQ(store->GetOrDefault("a", 0), 1);
+  EXPECT_EQ(store->GetOrDefault("b", 0), 2);
+  StoreStats stats = store->Stats();
+  EXPECT_EQ(stats.backend, "cached");
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+
+  // Capacity 2: touching "c" evicts the least-recently-used "a".
+  EXPECT_EQ(store->GetOrDefault("c", 0), 3);
+  EXPECT_EQ(store->GetOrDefault("a", 0), 1);  // Miss again: was evicted.
+  stats = store->Stats();
+  EXPECT_EQ(stats.cache_misses, 4u);
+
+  // Writes invalidate: the next read refetches from the inner store.
+  ASSERT_TRUE(store->Put("a", 10).ok());
+  EXPECT_EQ(store->GetOrDefault("a", 0), 10);
+  stats = store->Stats();
+  EXPECT_EQ(stats.cache_misses, 5u);
+  EXPECT_EQ(stats.live_keys, 3u);
+}
+
+TEST(CachedKVStoreTest, NegativeLookupsAreNotCached) {
+  std::unique_ptr<KVStore> store =
+      StoreRegistry::Global().Create("cached:capacity=4,inner=sorted");
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(store->Get("ghost").status().IsNotFound());
+  EXPECT_TRUE(store->Get("ghost").status().IsNotFound());
+  const StoreStats stats = store->Stats();
+  // Both lookups miss: absence is never cached, so a later Put is visible
+  // immediately without an invalidation path for phantom keys.
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  ASSERT_TRUE(store->Put("ghost", 1).ok());
+  EXPECT_EQ(store->GetOrDefault("ghost", 0), 1);
+}
+
+TEST(KVStoreTest, FlushIsANoopByDefault) {
+  MemKVStore store;
+  EXPECT_TRUE(store.Flush().ok());
+  std::unique_ptr<KVStore> cached =
+      StoreRegistry::Global().Create("cached:capacity=4,inner=cow");
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(cached->Flush().ok());
+}
+
+TEST(KVStoreTest, RestoreEntryInstallsExactVersionOnEveryBuiltin) {
+  for (const char* name : {"mem", "sorted", "cow", "cached:capacity=4"}) {
+    std::unique_ptr<KVStore> store = StoreRegistry::Global().Create(name);
+    ASSERT_NE(store, nullptr) << name;
+    ASSERT_TRUE(store->RestoreEntry("k", VersionedValue{42, 17}).ok()) << name;
+    auto got = store->Get("k");
+    ASSERT_TRUE(got.ok()) << name;
+    EXPECT_EQ(got->value, 42) << name;
+    EXPECT_EQ(got->version, 17u) << name;
+    // The next Put resumes the normal bump from the restored version.
+    ASSERT_TRUE(store->Put("k", 43).ok()) << name;
+    EXPECT_EQ(store->Get("k")->version, 18u) << name;
+  }
 }
 
 TEST(StoreRegistryTest, ExpectedKeysHintIsHonored) {

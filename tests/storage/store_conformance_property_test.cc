@@ -118,6 +118,71 @@ TEST_P(StoreConformanceTest, VersionsStartAtOneAndGrowMonotonically) {
   EXPECT_EQ(store->Get("a")->version, 1u);
 }
 
+// Pins last-op-wins for same-key put+delete mixes inside one batch, in
+// both orders — the ordering bug class a replaying backend (wal) can
+// introduce if it reorders or coalesces batch entries.
+TEST_P(StoreConformanceTest, SameKeyBatchOrderingIsLastOpWins) {
+  {
+    // {put k, delete k}: the delete lands last — key gone, version state
+    // erased.
+    auto store = MakeStore();
+    WriteBatch batch;
+    batch.Put("k", 7);
+    batch.Delete("k");
+    ASSERT_TRUE(store->Write(batch).ok()) << store->name();
+    EXPECT_FALSE(store->Get("k").ok()) << store->name();
+    EXPECT_EQ(store->GetOrDefault("k", -1), -1) << store->name();
+    EXPECT_EQ(store->size(), 0u) << store->name();
+    // Version state was erased by the in-batch delete: re-creation
+    // restarts at 1.
+    ASSERT_TRUE(store->Put("k", 9).ok());
+    EXPECT_EQ(store->Get("k")->version, 1u) << store->name();
+  }
+  {
+    // {delete k, put k}: the put lands last and sees post-delete version
+    // state, so the key exists at version 1 even though it was live (at
+    // version 2) before the batch.
+    auto store = MakeStore();
+    ASSERT_TRUE(store->Put("k", 1).ok());
+    ASSERT_TRUE(store->Put("k", 2).ok());
+    WriteBatch batch;
+    batch.Delete("k");
+    batch.Put("k", 5);
+    ASSERT_TRUE(store->Write(batch).ok()) << store->name();
+    auto got = store->Get("k");
+    ASSERT_TRUE(got.ok()) << store->name();
+    EXPECT_EQ(got->value, 5) << store->name();
+    EXPECT_EQ(got->version, 1u) << store->name();
+  }
+}
+
+// RestoreEntry is the checkpoint/recovery write path: it must install the
+// exact value AND version (no bump), on live and fresh keys alike.
+TEST_P(StoreConformanceTest, RestoreEntryInstallsExactVersions) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->RestoreEntry("fresh", {41, 17}).ok()) << store->name();
+  auto got = store->Get("fresh");
+  ASSERT_TRUE(got.ok()) << store->name();
+  EXPECT_EQ(got->value, 41);
+  EXPECT_EQ(got->version, 17u);
+
+  // Overwrites a live key in place, version included (downgrades too —
+  // recovery rewinds to the checkpointed version).
+  ASSERT_TRUE(store->Put("live", 1).ok());
+  ASSERT_TRUE(store->Put("live", 2).ok());
+  ASSERT_TRUE(store->RestoreEntry("live", {100, 1}).ok()) << store->name();
+  got = store->Get("live");
+  ASSERT_TRUE(got.ok()) << store->name();
+  EXPECT_EQ(got->value, 100);
+  EXPECT_EQ(got->version, 1u);
+
+  // Post-restore mutations resume normal semantics from the restored
+  // version.
+  ASSERT_TRUE(store->Put("live", 3).ok());
+  EXPECT_EQ(store->Get("live")->version, 2u);
+  EXPECT_EQ(store->size(), 2u);
+}
+
 TEST_P(StoreConformanceTest, SnapshotIsolatedFromLaterWrites) {
   auto store = MakeStore();
   Rng rng(7);

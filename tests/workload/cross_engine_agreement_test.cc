@@ -12,6 +12,7 @@
 // ordering artifact.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <memory>
 #include <string>
 #include <utility>
@@ -137,14 +138,18 @@ TEST_P(CrossEngineAgreementTest, StoreBackendsAgree) {
 }
 
 /// Every *registered* workload is covered automatically on the historical
-/// "mem" backend plus the persistent "cow" backend: a new workload
-/// registration must ship an AgreementOptions config with commutative
-/// committed effects (or extend it) to keep this suite meaningful.
+/// "mem" backend, the persistent "cow" backend, and the durable "wal"
+/// stack (group-committed log over a block-cached sorted inner): a new
+/// workload registration must ship an AgreementOptions config with
+/// commutative committed effects (or extend it) to keep this suite
+/// meaningful.
 std::vector<AgreementParam> AgreementMatrix() {
   std::vector<AgreementParam> params;
   for (const std::string& workload : WorkloadRegistry::Global().Names()) {
     params.emplace_back(workload, "mem");
     params.emplace_back(workload, "cow");
+    params.emplace_back(
+        workload, "wal:group_commit=4,inner=cached:capacity=128,inner=sorted");
   }
   return params;
 }
@@ -152,7 +157,12 @@ std::vector<AgreementParam> AgreementMatrix() {
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, CrossEngineAgreementTest,
     ::testing::ValuesIn(AgreementMatrix()), [](const auto& info) {
-      return info.param.first + "_" + info.param.second;
+      // Store specs carry ':', '=' and ',' — flatten to valid test names.
+      std::string name = info.param.first + "_" + info.param.second;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
     });
 
 }  // namespace
