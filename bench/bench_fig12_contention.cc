@@ -23,11 +23,19 @@ struct Measurement {
   double latency_s = 0;
 };
 
+/// Sweep-wide accumulators: the per-phase latency decomposition and the
+/// virtual clock the time-series windows ride (cells run back to back on
+/// one timeline, sampled at each cell boundary).
+struct SweepObs {
+  obs::LatencyBreakdown phases;
+  uint64_t clock_us = 0;
+};
+
 Measurement RunConfig(int kind, uint32_t batch_size, double theta,
                       double read_ratio, uint32_t runs,
                       const bench::StoreSelection& store_sel,
                       const bench::PoolSelection& pool_sel,
-                      obs::Observability* obs) {
+                      obs::Observability* obs, SweepObs* sweep) {
   workload::SmallBankConfig wc;
   wc.num_accounts = 10000;
   wc.theta = theta;
@@ -67,7 +75,10 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
     total_time += r->duration;
     total_txns += batch_size;
     latency_sum += r->commit_latency_us.Mean();
+    sweep->phases.Merge(r->phases);
   }
+  sweep->clock_us += total_time;
+  obs->SampleWindow(sweep->clock_us);
   Measurement m;
   m.tps = static_cast<double>(total_txns) / ToSeconds(total_time);
   m.latency_s = (latency_sum / runs) / 1e6;
@@ -77,7 +88,8 @@ Measurement RunConfig(int kind, uint32_t batch_size, double theta,
 const char* kEngineNames[] = {"Thunderbolt", "OCC", "2PL-No-Wait"};
 
 void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
-                const bench::PoolSelection& pool, obs::Observability* obs) {
+                const bench::PoolSelection& pool, obs::Observability* obs,
+                SweepObs* sweep) {
   std::printf("\n--- (a,b) theta sweep, Pr = 0.5 ---\n");
   bench::Table table(
       {"engine", "batch", "theta", "tput(tps)", "latency(s)"},
@@ -86,7 +98,8 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
     for (uint32_t batch : {300u, 500u}) {
       for (double theta : {0.75, 0.8, 0.85, 0.9}) {
         Measurement m =
-            RunConfig(kind, batch, theta, 0.5, runs, store, pool, obs);
+            RunConfig(kind, batch, theta, 0.5, runs, store, pool, obs,
+                      sweep);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(theta, 2), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -96,8 +109,8 @@ void ThetaSweep(uint32_t runs, const bench::StoreSelection& store,
 }
 
 void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store,
-                    const bench::PoolSelection& pool,
-                    obs::Observability* obs) {
+                    const bench::PoolSelection& pool, obs::Observability* obs,
+                    SweepObs* sweep) {
   std::printf("\n--- (c,d) Pr sweep, theta = 0.85 ---\n");
   bench::Table table({"engine", "batch", "Pr", "tput(tps)", "latency(s)"},
                      "read_ratio_sweep");
@@ -105,7 +118,8 @@ void ReadRatioSweep(uint32_t runs, const bench::StoreSelection& store,
     for (uint32_t batch : {300u, 500u}) {
       for (double pr : {1.0, 0.8, 0.5, 0.1, 0.0}) {
         Measurement m =
-            RunConfig(kind, batch, 0.85, pr, runs, store, pool, obs);
+            RunConfig(kind, batch, 0.85, pr, runs, store, pool, obs,
+                      sweep);
         table.Row({kEngineNames[kind], bench::FmtInt(batch),
                    bench::Fmt(pr, 1), bench::Fmt(m.tps, 0),
                    bench::Fmt(m.latency_s, 4)});
@@ -135,8 +149,10 @@ int main(int argc, char** argv) {
   if (pool.name != "sim") {
     std::printf("pool: %s (wall-clock timings)\n", pool.name.c_str());
   }
-  ThetaSweep(runs, store, pool, obs.get());
-  ReadRatioSweep(runs, store, pool, obs.get());
+  SweepObs sweep;
+  ThetaSweep(runs, store, pool, obs.get(), &sweep);
+  ReadRatioSweep(runs, store, pool, obs.get(), &sweep);
+  bench::PhaseLatencyTable(sweep.phases);
   obs_sel.Capture(*obs);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig12") |
          obs_sel.WriteIfRequested();

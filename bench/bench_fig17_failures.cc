@@ -13,7 +13,8 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
               workload::WorkloadOptions options,
               const bench::PlacementSelection& placement,
               const bench::StoreSelection& store, bench::ObsSelection* obs,
-              SimTime duration, bench::Table& table) {
+              SimTime duration, bench::Table& table,
+              obs::LatencyBreakdown* phases) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
     core::ThunderboltConfig cfg;
     cfg.n = 16;
@@ -31,6 +32,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
       cluster.CrashReplicaAt(15 - i, Millis(400));
     }
     core::ClusterResult r = cluster.Run(duration);
+    phases->Merge(r.phase_latency);
     obs->Capture(cluster.obs());
     table.Row({name, bench::FmtInt(failures), bench::Fmt(pct * 100, 0),
                bench::Fmt(r.throughput_tps, 0),
@@ -64,14 +66,19 @@ int main(int argc, char** argv) {
               store.name.c_str());
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
+  obs::LatencyBreakdown phases;
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
-           workload_name, options, placement, store, &obs, duration, table);
+           workload_name, options, placement, store, &obs, duration, table,
+           &phases);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
-           workload_name, options, placement, store, &obs, duration, table);
+           workload_name, options, placement, store, &obs, duration, table,
+           &phases);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
-           workload_name, options, placement, store, &obs, duration, table);
+           workload_name, options, placement, store, &obs, duration, table,
+           &phases);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
-           placement, store, &obs, duration, table);
+           placement, store, &obs, duration, table, &phases);
+  bench::PhaseLatencyTable(phases);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig17") |
          obs.WriteIfRequested();
 }

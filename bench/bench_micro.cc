@@ -10,6 +10,8 @@
 #include "contract/contract.h"
 #include "core/validator.h"
 #include "crypto/signature.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "workload/smallbank_workload.h"
 
@@ -246,6 +248,62 @@ void BM_TraceRecord(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TraceRecord);
+
+void BM_TraceEnabled(benchmark::State& state) {
+  // The fully-instrumented path a span-recording site pays under a live
+  // ring: construct a TraceEvent with causality ids and flow phase set
+  // (the cross-shard hold-span shape) and append it. Compare against
+  // BM_TraceRecord for the cost the causality fields add.
+  obs::RingTracer tracer(1 << 12);
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    if (tracer.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kCrossHoldSpan;
+      e.ts_us = ++ts;
+      e.dur_us = 5;
+      e.txn = ts;
+      e.trace_id = ts;
+      e.span_id = 1;
+      e.flow = obs::FlowPhase::kStart;
+      tracer.Record(e);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEnabled);
+
+void BM_TimeSeriesWindow(benchmark::State& state) {
+  // Cost of closing one time-series window over a registry of
+  // |state.range(0)| counters: one delta snapshot against the previous
+  // window's values. This is what the cluster pays at every window
+  // boundary on the sim clock.
+  obs::MetricsRegistry metrics;
+  const int64_t counters = state.range(0);
+  std::vector<obs::Counter*> c;
+  c.reserve(static_cast<size_t>(counters));
+  for (int64_t i = 0; i < counters; ++i) {
+    c.push_back(&metrics.GetCounter("bench.counter" + std::to_string(i)));
+  }
+  auto recorder =
+      std::make_unique<obs::TimeSeriesRecorder>(&metrics, /*window_us=*/100);
+  uint64_t now = 0;
+  size_t next = 0;
+  for (auto _ : state) {
+    c[next]->Inc();
+    next = (next + 1) % c.size();
+    now += 100;
+    recorder->Advance(now);
+    // Windows accumulate by design; restart the recorder periodically so
+    // a long benchmark run measures window closing, not vector growth.
+    if (recorder->window_count() >= 4096) {
+      recorder = std::make_unique<obs::TimeSeriesRecorder>(&metrics, 100);
+      now = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesWindow)->Arg(8)->Arg(64);
 
 void BM_CcBatch(benchmark::State& state) {
   // Real-time cost of executing one SmallBank batch through the CC with

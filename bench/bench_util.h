@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/latency.h"
 #include "obs/obs.h"
 #include "placement/placement.h"
 #include "storage/kv_store.h"
@@ -174,6 +175,26 @@ inline std::string Fmt(double v, int precision = 1) {
 }
 
 inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+/// Prints (and mirrors into the --json TableLog) a "phase_latency" table
+/// summarizing a per-phase commit-latency decomposition — the standard
+/// tail section of every figure binary that sweeps through the pools or
+/// the cluster. Empty phases print "-" so an idle phase is not mistaken
+/// for a zero-latency one.
+inline void PhaseLatencyTable(const obs::LatencyBreakdown& phases) {
+  std::printf("\n--- per-phase latency decomposition ---\n");
+  Table table({"phase", "count", "mean(us)", "p50(us)", "p99(us)", "max(us)"},
+              "phase_latency");
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    const Histogram& h = phases.phase[p];
+    const bool empty = h.Count() == 0;
+    table.Row({obs::PhaseName(static_cast<obs::Phase>(p)),
+               FmtInt(h.Count()), empty ? "-" : Fmt(h.Mean(), 1),
+               empty ? "-" : Fmt(h.Percentile(50), 1),
+               empty ? "-" : Fmt(h.Percentile(99), 1),
+               empty ? "-" : Fmt(h.Max(), 1)});
+  }
+}
 
 /// Parses "--quick" from argv: benches shorten their virtual durations so
 /// the whole suite runs in CI-friendly time.
@@ -372,7 +393,9 @@ inline PoolSelection PoolFromFlags(int argc, char** argv) {
 /// The observability artifacts a bench binary was asked to produce.
 /// `--trace-out <path>` enables lifecycle tracing (Chrome trace-event JSON,
 /// loadable at ui.perfetto.dev); `--metrics-out <path>` snapshots the
-/// metrics registry as JSON. `--trace-capacity <n>` bounds the ring.
+/// metrics registry as JSON; `--timeseries-out <path>` records windowed
+/// counter deltas (`--timeseries-window <us>` sets the window width).
+/// `--trace-capacity <n>` bounds the ring.
 ///
 /// Sweeping drivers call Capture() once per cluster/bundle; the artifacts
 /// describe the LAST captured run (each capture replaces the previous one
@@ -380,31 +403,46 @@ inline PoolSelection PoolFromFlags(int argc, char** argv) {
 struct ObsSelection {
   std::string trace_path;
   std::string metrics_path;
+  std::string timeseries_path;
   uint32_t trace_capacity = 1u << 16;
+  uint64_t timeseries_window_us = 100000;
 
   bool requested() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !timeseries_path.empty();
   }
   bool trace() const { return !trace_path.empty(); }
+  bool timeseries() const { return !timeseries_path.empty(); }
 
   void ApplyTo(core::ThunderboltConfig* config) const {
     config->obs.trace = trace();
     config->obs.trace_capacity = trace_capacity;
+    config->obs.timeseries = timeseries();
+    config->obs.timeseries_window_us = timeseries_window_us;
   }
 
   /// Builds a standalone bundle for non-cluster drivers (batch benches
-  /// install it on their pool via SetObs).
+  /// install it on their pool via SetObs and drive SampleWindow between
+  /// cells themselves).
   std::unique_ptr<obs::Observability> MakeBundle() const {
     obs::ObsOptions options;
     options.trace = trace();
     options.trace_capacity = trace_capacity;
+    options.timeseries = timeseries();
+    options.timeseries_window_us = timeseries_window_us;
     return std::make_unique<obs::Observability>(options);
   }
 
   /// Snapshots `obs`'s sinks; safe to call after the owning cluster dies.
-  void Capture(const obs::Observability& obs) {
+  /// Closes the trailing time-series window and syncs the ring's drop
+  /// accounting into the registry first, so the artifacts are consistent.
+  void Capture(obs::Observability& obs) {
+    obs.SyncTraceStats();
+    obs.FlushTimeSeries();
     metrics_json_ = obs.metrics().ToJson();
     trace_json_ = obs.ring() != nullptr ? obs.ring()->ToChromeJson() : "";
+    timeseries_json_ =
+        obs.timeseries() != nullptr ? obs.timeseries()->ToJson() : "";
   }
 
   /// Writes the captured artifacts to the requested paths. Returns 0, or
@@ -414,6 +452,7 @@ struct ObsSelection {
     int rc = 0;
     rc |= WriteOne(trace_path, trace_json_, "trace");
     rc |= WriteOne(metrics_path, metrics_json_, "metrics");
+    rc |= WriteOne(timeseries_path, timeseries_json_, "timeseries");
     return rc;
   }
 
@@ -442,19 +481,32 @@ struct ObsSelection {
 
   std::string trace_json_;
   std::string metrics_json_;
+  std::string timeseries_json_;
 };
 
-/// Shared `--trace-out` / `--metrics-out` / `--trace-capacity` handling.
+/// Shared `--trace-out` / `--metrics-out` / `--timeseries-out` /
+/// `--timeseries-window` / `--trace-capacity` handling.
 inline ObsSelection ObsFromFlags(int argc, char** argv) {
   ObsSelection selection;
   selection.trace_path = FlagValue(argc, argv, "trace-out");
   selection.metrics_path = FlagValue(argc, argv, "metrics-out");
+  selection.timeseries_path = FlagValue(argc, argv, "timeseries-out");
   const std::string cap = FlagValue(argc, argv, "trace-capacity");
   if (!cap.empty()) {
     selection.trace_capacity =
         static_cast<uint32_t>(std::strtoul(cap.c_str(), nullptr, 10));
     if (selection.trace_capacity == 0) {
       std::fprintf(stderr, "invalid --trace-capacity \"%s\"\n", cap.c_str());
+      std::exit(2);
+    }
+  }
+  const std::string window = FlagValue(argc, argv, "timeseries-window");
+  if (!window.empty()) {
+    selection.timeseries_window_us =
+        std::strtoull(window.c_str(), nullptr, 10);
+    if (selection.timeseries_window_us == 0) {
+      std::fprintf(stderr, "invalid --timeseries-window \"%s\"\n",
+                   window.c_str());
       std::exit(2);
     }
   }

@@ -30,6 +30,9 @@
 //                            (load at ui.perfetto.dev)          [disabled]
 //   --metrics-out <path>     write the metrics-registry JSON snapshot
 //                            (pool.*, engine abort reasons)     [disabled]
+//   --timeseries-out <path>  write windowed counter deltas over the
+//                            sweep's accumulated virtual time   [disabled]
+//   --timeseries-window <us> time-series window width           [100000]
 //   --trace-capacity <n>     trace ring size in events          [65536]
 //   --smoke                  shrink everything for CI
 //   --list                   print registered workloads and exit
@@ -110,6 +113,13 @@ struct SweepResult {
   /// placement policy (0 with --shards 1).
   double cross_frac = 0;
   bool invariant_ok = false;
+  /// Per-phase decomposition of the cell's commit latency (queue_wait /
+  /// execute / restart_backoff from the pool; empty for the inline
+  /// "serial" engine, which has no admission pipeline).
+  obs::LatencyBreakdown phases;
+  /// Virtual (sim pool) or wall (thread pool) time the cell consumed;
+  /// drives the sweep-level time-series clock.
+  SimTime total_time = 0;
 };
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -216,6 +226,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
                                    pool->Run(*engine, *registry, batch));
       THUNDERBOLT_RETURN_NOT_OK(store->Write(r.final_writes));
       total_time += r.duration;
+      out.phases.Merge(r.phases);
       out.aborts += r.total_aborts;
       for (size_t reason = 0; reason < obs::kNumAbortReasons; ++reason) {
         out.abort_reasons[reason] += r.abort_reasons[reason];
@@ -242,6 +253,7 @@ Result<SweepResult> RunCell(const DriverConfig& config,
                        : static_cast<double>(cross_generated) /
                              static_cast<double>(out.txns);
   out.invariant_ok = w->CheckInvariant(*store).ok();
+  out.total_time = total_time;
   return out;
 }
 
@@ -292,9 +304,10 @@ bool WriteResultsJson(const std::string& path,
     }
     std::fprintf(
         f,
-        "}, \"re_execs_per_txn\": %.4f, "
+        "}, \"phase_latency\": %s, \"re_execs_per_txn\": %.4f, "
         "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
-        r.re_execs_per_txn, r.cross_frac, r.invariant_ok ? "true" : "false");
+        r.phases.ToJson().c_str(), r.re_execs_per_txn, r.cross_frac,
+        r.invariant_ok ? "true" : "false");
   }
   std::fprintf(f, "%s\n  ]\n}\n", results.empty() ? "" : "\n");
   std::fclose(f);
@@ -467,6 +480,9 @@ int main(int argc, char** argv) {
   // so --trace-out captures the final cell (ring keeps the newest events)
   // and --metrics-out aggregates pool.* across the entire sweep.
   std::unique_ptr<obs::Observability> obs = config.obs.MakeBundle();
+  // Sweep-level time-series clock: cells run back to back on one virtual
+  // timeline, sampled at each cell boundary (Capture flushes the tail).
+  uint64_t sweep_clock_us = 0;
   for (const std::string& workload_name : config.workloads) {
     for (const std::string& engine_name : config.engines) {
       for (const std::string& pool_name : config.pools) {
@@ -485,6 +501,8 @@ int main(int argc, char** argv) {
                 continue;
               }
               if (!cell->invariant_ok) all_ok = false;
+              sweep_clock_us += cell->total_time;
+              obs->SampleWindow(sweep_clock_us);
               results.push_back(*cell);
               table.Row({cell->workload, cell->engine, cell->pool,
                          bench::FmtInt(cell->threads),

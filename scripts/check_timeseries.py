@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Schema sanity check for a --timeseries-out artifact.
+
+Validates the invariants the TimeSeriesRecorder promises:
+  * top level is {window_us, windows, totals} with window_us > 0;
+  * windows are non-overlapping and ordered (a zero-length window is legal
+    only as the final flush stamp: counters that moved after the last
+    boundary close at end-of-run with start_us == end_us);
+  * every counter delta is attributed to exactly one window, so the
+    per-window deltas of each counter sum to its entry in totals.
+
+Usage: check_timeseries.py <timeseries.json>
+Exits 0 when the artifact is well-formed, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_timeseries: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_timeseries.py <timeseries.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    for key in ("window_us", "windows", "totals"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if not isinstance(doc["window_us"], int) or doc["window_us"] <= 0:
+        fail(f"window_us must be a positive integer, got {doc['window_us']!r}")
+    if not isinstance(doc["windows"], list):
+        fail("windows must be a list")
+
+    prev_end = 0
+    for i, w in enumerate(doc["windows"]):
+        for key in ("start_us", "end_us", "counters", "gauges", "histograms"):
+            if key not in w:
+                fail(f"window {i} missing key {key!r}")
+        if w["start_us"] > w["end_us"]:
+            fail(f"window {i} has negative span [{w['start_us']}, {w['end_us']}]")
+        if w["start_us"] == w["end_us"] and i + 1 != len(doc["windows"]):
+            fail(f"window {i} is zero-length but not the final flush window")
+        if w["start_us"] < prev_end:
+            fail(f"window {i} overlaps the previous one")
+        prev_end = w["end_us"]
+        for name, delta in w["counters"].items():
+            if not isinstance(delta, int) or delta < 0:
+                fail(f"window {i} counter {name!r} delta {delta!r} "
+                     "is not a non-negative integer")
+
+    sums = {}
+    for w in doc["windows"]:
+        for name, delta in w["counters"].items():
+            sums[name] = sums.get(name, 0) + delta
+    for name, total in doc["totals"].items():
+        if sums.get(name, 0) != total:
+            fail(f"counter {name!r}: window deltas sum to "
+                 f"{sums.get(name, 0)} but totals says {total}")
+    for name in sums:
+        if name not in doc["totals"]:
+            fail(f"counter {name!r} appears in windows but not in totals")
+
+    print(f"check_timeseries: OK ({len(doc['windows'])} windows, "
+          f"{len(doc['totals'])} counters)")
+
+
+if __name__ == "__main__":
+    main()

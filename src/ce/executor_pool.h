@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "contract/contract.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "txn/transaction.h"
@@ -81,6 +82,13 @@ struct BatchExecutionResult {
   SimTime start_time = 0;
   SimTime duration = 0;                // Makespan of the batch.
   Histogram commit_latency_us;         // Per-txn commit latency.
+  /// Per-transaction phase decomposition of commit_latency_us: the pool
+  /// fills kQueueWait / kExecute / kRestartBackoff (one sample per
+  /// committed transaction, zeros included so counts line up); the
+  /// cluster commit path adds the consensus-side phases on top. Also
+  /// merged into the registry's "phase.<name>_us" histograms when a
+  /// metrics sink is installed.
+  obs::LatencyBreakdown phases;
 };
 
 /// Observability context a pool records into. Set once (per node / bench

@@ -209,6 +209,16 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
 
   SimTime engine_serial_free = start_time;
   std::vector<SimTime> commit_time(n, 0);
+  // Per-phase accounting: virtual time each slot spent actually executing
+  // steps vs parked in restart penalties/backoff (queue wait falls out of
+  // first_started_at at the end).
+  std::vector<SimTime> exec_us(n, 0);
+  std::vector<SimTime> backoff_us(n, 0);
+  // Admission-pressure signals for the pool.sim.* gauges: peak ready-queue
+  // depth and average busy-executor occupancy across scheduler steps.
+  size_t max_queue_depth = 0;
+  uint64_t busy_samples_sum = 0;
+  uint64_t scheduler_steps = 0;
   // Deterministic per-slot jittered exponential backoff (see
   // ExecutionCostModel::restart_cost).
   auto restart_backoff = [&](TxnSlot slot) {
@@ -225,6 +235,7 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
 
   // Hands waiting transactions to idle executors.
   auto assign = [&]() {
+    if (ready.size() > max_queue_depth) max_queue_depth = ready.size();
     while (!ready.empty() && !idle.empty()) {
       auto [slot, available_at] = ready.front();
       ready.pop_front();
@@ -312,6 +323,8 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
           " committed)");
     }
 
+    busy_samples_sum += busy.size();
+    ++scheduler_steps;
     BusyExecutor ex = busy.top();
     busy.pop();
     const TxnSlot slot = ex.slot;
@@ -319,7 +332,9 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     // Apply pending restart backoff before re-running an aborted slot.
     if (needs_backoff[slot]) {
       needs_backoff[slot] = false;
-      busy.push(BusyExecutor{ex.free_at + restart_backoff(slot), ex.id, slot});
+      const SimTime pause = restart_backoff(slot);
+      backoff_us[slot] += pause;
+      busy.push(BusyExecutor{ex.free_at + pause, ex.id, slot});
       continue;
     }
 
@@ -333,6 +348,7 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     SimTime serial_cost = cost > 0 ? costs_.engine_serial_cost : 0;
     engine_serial_free = start + serial_cost;
     SimTime done = start + serial_cost + cost;
+    exec_us[slot] += serial_cost + cost;
 
     switch (outcome) {
       case StepOutcome::kPaused:
@@ -345,6 +361,7 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
         runs[slot].log.clear();
         runs[slot].started = false;
         done += costs_.restart_cost;
+        backoff_us[slot] += costs_.restart_cost;
         busy.push(BusyExecutor{done, ex.id, slot});
         break;
       case StepOutcome::kFailed: {
@@ -356,6 +373,7 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
           runs[slot].log.clear();
           runs[slot].started = false;
           done += costs_.restart_cost;
+          backoff_us[slot] += costs_.restart_cost;
           busy.push(BusyExecutor{done, ex.id, slot});
           break;
         }
@@ -403,6 +421,14 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
                                                  : start_time;
     SimTime committed = std::max(commit_time[s], submitted);
     result.commit_latency_us.Add(static_cast<double>(committed - submitted));
+    // Phase decomposition: one sample per committed transaction in each
+    // pool-side phase (zeros included so counts line up across phases).
+    const SimTime first_start = std::max(runs[s].first_started_at, submitted);
+    result.phases[obs::Phase::kQueueWait].Add(
+        static_cast<double>(first_start - submitted));
+    result.phases[obs::Phase::kExecute].Add(static_cast<double>(exec_us[s]));
+    result.phases[obs::Phase::kRestartBackoff].Add(
+        static_cast<double>(backoff_us[s]));
     if (tracing) {
       // One lifecycle span per committed transaction: first admission on
       // an executor through the step whose cascade committed it.
@@ -417,6 +443,10 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
       ev.txn = batch[s].id;
       ev.a = result.records[s].re_executions;
       ev.b = static_cast<uint64_t>(result.records[s].order);
+      // Root of the transaction's causal tree; the cluster's cross-shard
+      // hold spans hang under the same trace_id.
+      ev.trace_id = batch[s].id;
+      ev.span_id = 1;
       tracer.Record(ev);
     }
   }
@@ -445,6 +475,14 @@ Result<BatchExecutionResult> SimExecutorPool::Run(
     }
     m.GetHistogram("pool.sim.commit_latency_us")
         .Merge(result.commit_latency_us);
+    obs::MergeIntoRegistry(m, result.phases);
+    m.GetGauge("pool.sim.queue_depth")
+        .Set(static_cast<double>(max_queue_depth));
+    m.GetGauge("pool.sim.wave_occupancy")
+        .Set(scheduler_steps > 0
+                 ? static_cast<double>(busy_samples_sum) /
+                       (static_cast<double>(scheduler_steps) * num_executors_)
+                 : 0.0);
   }
   return result;
 }

@@ -130,23 +130,30 @@ void ThreadExecutorPool::WorkerLoop() {
         continue;
       }
 
+      const size_t backlog = job.current.size() + job.next.size() + 1;
+      if (backlog > job.max_queue_depth) job.max_queue_depth = backlog;
       const TxnSlot slot = job.current.front();
       job.current.pop_front();
       job.queued[slot] = 0;
       job.pinned[slot] = 1;
       ++job.executing;
+      job.occupancy_sum += job.executing;
+      ++job.occupancy_samples;
       const uint32_t restarts = job.consecutive_restarts[slot];
 
       lk.unlock();
+      uint64_t backoff_slept_us = 0;
       if (restarts > 0) {
         // Real exponential backoff before re-running a restarted slot,
         // mirroring the sim pool's virtual restart_cost model.
         const uint32_t exp = std::min(restarts, costs_.restart_backoff_cap);
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            costs_.restart_cost * (uint64_t{1} << exp)));
+        backoff_slept_us = costs_.restart_cost * (uint64_t{1} << exp);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(backoff_slept_us));
       }
       const uint64_t attempt_start_us = TraceNowUs();
       const Outcome outcome = Attempt(job, slot);
+      const uint64_t attempt_end_us = TraceNowUs();
       const double latency_us =
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - job.wall_start)
@@ -164,12 +171,25 @@ void ThreadExecutorPool::WorkerLoop() {
         ev.pid = obs_.pid;
         ev.tid = id;
         ev.ts_us = attempt_start_us;
-        ev.dur_us = TraceNowUs() - attempt_start_us;
+        ev.dur_us = attempt_end_us - attempt_start_us;
         ev.txn = (*job.batch)[slot].id;
         ev.a = restarts;
+        ev.trace_id = (*job.batch)[slot].id;
+        ev.span_id = 1;
         obs_.tracer->Record(ev);
       }
       lk.lock();
+
+      // Phase accounting under the pool mutex.
+      if (!job.started[slot]) {
+        job.started[slot] = 1;
+        job.queue_wait_us[slot] =
+            attempt_start_us > job.wall_start_trace_us
+                ? attempt_start_us - job.wall_start_trace_us
+                : 0;
+      }
+      job.exec_us[slot] += attempt_end_us - attempt_start_us;
+      job.backoff_us[slot] += backoff_slept_us;
 
       --job.executing;
       job.pinned[slot] = 0;
@@ -279,7 +299,12 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
   job_.restart_pending.assign(n, 0);
   job_.consecutive_restarts.assign(n, 0);
   job_.worker_latency_us.resize(num_executors_);
+  job_.queue_wait_us.assign(n, 0);
+  job_.exec_us.assign(n, 0);
+  job_.backoff_us.assign(n, 0);
+  job_.started.assign(n, 0);
   job_.wall_start = std::chrono::steady_clock::now();
+  job_.wall_start_trace_us = TraceNowUs();
   active_ = true;
   ++job_gen_;
   work_cv_.notify_all();
@@ -316,6 +341,16 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
   for (const Histogram& h : job_.worker_latency_us) {
     result.commit_latency_us.Merge(h);
   }
+  // Per-phase decomposition: one sample per transaction in each
+  // pool-side phase (zeros included so counts line up).
+  for (TxnSlot s = 0; s < n; ++s) {
+    result.phases[obs::Phase::kQueueWait].Add(
+        static_cast<double>(job_.queue_wait_us[s]));
+    result.phases[obs::Phase::kExecute].Add(
+        static_cast<double>(job_.exec_us[s]));
+    result.phases[obs::Phase::kRestartBackoff].Add(
+        static_cast<double>(job_.backoff_us[s]));
+  }
   if (obs_.tracer->enabled()) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kBatchSpan;
@@ -340,6 +375,15 @@ Result<BatchExecutionResult> ThreadExecutorPool::Run(
     }
     m.GetHistogram("pool.thread.commit_latency_us")
         .Merge(result.commit_latency_us);
+    obs::MergeIntoRegistry(m, result.phases);
+    m.GetGauge("pool.thread.queue_depth")
+        .Set(static_cast<double>(job_.max_queue_depth));
+    m.GetGauge("pool.thread.wave_occupancy")
+        .Set(job_.occupancy_samples > 0
+                 ? static_cast<double>(job_.occupancy_sum) /
+                       (static_cast<double>(job_.occupancy_samples) *
+                        num_executors_)
+                 : 0.0);
   }
   engine.SetAbortCallback({});
   return result;

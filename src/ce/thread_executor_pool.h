@@ -114,9 +114,23 @@ class ThreadExecutorPool final : public ExecutorPool {
     std::array<uint64_t, obs::kNumAbortReasons> reason_counts{};
 
     std::chrono::steady_clock::time_point wall_start;
+    uint64_t wall_start_trace_us = 0;  // wall_start in the trace domain.
     // One histogram per worker (Histogram is single-writer; see
     // common/histogram.h), merged into the result at batch end.
     std::vector<Histogram> worker_latency_us;
+
+    // Per-slot phase accounting (mutated under mu_, read at quiescence):
+    // admission -> first attempt, summed attempt durations, summed real
+    // backoff sleeps.
+    std::vector<uint64_t> queue_wait_us;
+    std::vector<uint64_t> exec_us;
+    std::vector<uint64_t> backoff_us;
+    std::vector<uint8_t> started;  // First attempt seen (queue_wait set).
+
+    // Admission-pressure signals for the pool.thread.* gauges.
+    size_t max_queue_depth = 0;     // Peak current+next backlog.
+    uint64_t occupancy_sum = 0;     // Sum of `executing` at attempt start.
+    uint64_t occupancy_samples = 0;
   };
 
   void WorkerLoop();

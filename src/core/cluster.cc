@@ -129,10 +129,17 @@ ClusterResult Cluster::Run(SimTime duration) {
   if (!started_) {
     started_ = true;
     for (auto& node : nodes_) node->Start();
+    if (obs_->timeseries() != nullptr && config_.obs.timeseries_window_us > 0) {
+      ScheduleWindowSample(config_.obs.timeseries_window_us);
+    }
   }
   SimTime start = simulator_->Now();
   SimTime end = start + duration;
   simulator_->RunUntil(end);
+  // Record the run edge so a later FlushTimeSeries stamps the trailing
+  // partial window at `end`, not at the last boundary that happened to
+  // close (idempotent for windows the sampler chain already closed).
+  obs_->SampleWindow(end);
 
   ClusterResult result;
   result.duration = duration;
@@ -213,7 +220,33 @@ ClusterResult Cluster::Run(SimTime duration) {
   m.GetCounter("cluster.preplay_aborts").Inc(result.preplay_aborts);
   m.GetCounter("cluster.migrations").Inc(result.migrations);
   m.GetHistogram("cluster.commit_latency_us").Merge(window);
+  obs_->SyncTraceStats();
+
+  // Window deltas of the six phase.<name>_us histograms (pool-side phases
+  // recorded during preplay, commit-path phases by the observer). Samples
+  // are append-only in insertion order, so a cursor per phase suffices.
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    const std::string name =
+        std::string("phase.") + obs::PhaseName(static_cast<obs::Phase>(p)) +
+        "_us";
+    const obs::HistogramMetric* h = m.FindHistogram(name);
+    if (h == nullptr) continue;
+    const Histogram snap = h->Snapshot();
+    const std::vector<double>& samples = snap.samples();
+    Histogram& out = result.phase_latency[static_cast<obs::Phase>(p)];
+    for (size_t i = phase_cursor_[p]; i < samples.size(); ++i) {
+      out.Add(samples[i]);
+    }
+    phase_cursor_[p] = samples.size();
+  }
   return result;
+}
+
+void Cluster::ScheduleWindowSample(SimTime when) {
+  simulator_->ScheduleAt(when, [this, when]() {
+    obs_->SampleWindow(when);
+    ScheduleWindowSample(when + config_.obs.timeseries_window_us);
+  });
 }
 
 }  // namespace thunderbolt::core

@@ -13,6 +13,7 @@
 #include "common/simulator.h"
 #include "core/config.h"
 #include "core/node.h"
+#include "obs/latency.h"
 #include "obs/obs.h"
 #include "placement/placement.h"
 #include "workload/workload.h"
@@ -47,6 +48,13 @@ struct ClusterResult {
   std::array<uint64_t, obs::kNumAbortReasons> abort_reasons{};
   /// (commit index, completion time) pairs from the observer (Figure 16).
   std::vector<std::pair<Round, SimTime>> commit_times;
+  /// Per-phase commit-latency decomposition for this window (microsecond
+  /// samples recorded into the registry's phase.<name>_us histograms by the
+  /// pools — queue_wait / execute / restart_backoff — and the observer's
+  /// commit path — validate / commit_apply / cross_shard_hold). Phases
+  /// count different populations (preplayed vs committed vs cross-shard
+  /// transactions), so their counts need not match latency_samples.
+  obs::LatencyBreakdown phase_latency;
 };
 
 class Cluster {
@@ -130,6 +138,14 @@ class Cluster {
   bool started_ = false;
   /// Cursor into metrics_->samples for window accounting across Run calls.
   size_t sample_cursor_ = 0;
+  /// Cursors into the registry's phase.<name>_us histogram samples, one
+  /// per obs::Phase, for the same window-delta accounting.
+  std::array<size_t, obs::kNumPhases> phase_cursor_{};
+
+  /// Schedules the self-rechaining time-series sampler event at `when`
+  /// (a window boundary on the sim clock). Started once, from the first
+  /// Run, when config.obs.timeseries is set.
+  void ScheduleWindowSample(SimTime when);
 };
 
 }  // namespace thunderbolt::core

@@ -304,6 +304,15 @@ void ThunderboltNode::StartPreplay(Round round,
     }
     duration = result->duration;
     if (is_observer_) metrics_->preplay_aborts += result->total_aborts;
+    // Per-shard abort attribution: each shard is preplayed by exactly one
+    // proposer per epoch, so every replica reporting its own shard yields
+    // a complete breakdown with no double counting.
+    if (result->total_aborts > 0) {
+      obs_->metrics()
+          .GetCounter("cluster.shard.preplay_aborts",
+                      {{"shard", owned_shard_}})
+          .Inc(result->total_aborts);
+    }
 
     // Assemble the preplayed section in serialization order.
     payload->preplayed.reserve(batch);
@@ -474,8 +483,23 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
     cost += validate_cost;
 
     if (!outcome.valid) {
-      if (is_observer_) ++metrics_->invalid_blocks;
+      if (is_observer_) {
+        ++metrics_->invalid_blocks;
+        obs_->metrics()
+            .GetCounter("cluster.shard.invalid_blocks",
+                        {{"shard", payload->shard}})
+            .Inc();
+      }
       continue;
+    }
+    if (is_observer_ && !payload->preplayed.empty()) {
+      // Phase decomposition: every transaction in a valid block waits out
+      // the whole block's validation replay before its commit applies.
+      obs::HistogramMetric& validate =
+          obs_->metrics().GetHistogram("phase.validate_us");
+      for (size_t i = 0; i < payload->preplayed.size(); ++i) {
+        validate.Observe(static_cast<double>(validate_cost));
+      }
     }
     // Retire this block from our speculative overlay if it is ours.
     if (block->proposer == id_) {
@@ -552,6 +576,36 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
         ev.a = cross_outcome.executed;
         ev.b = cross_outcome.remote_accesses;
         tracer.Record(ev);
+
+        // Causality: one hold span per participant shard of each
+        // cross-shard transaction, stitched into a single tree by trace_id
+        // (= txn id) and a flow-event chain (start -> step... -> end), so
+        // Perfetto draws the cross-shard commit as arrows between the
+        // participant shards' tracks.
+        for (const txn::Transaction* tx : crosses) {
+          const std::vector<ShardId> participants =
+              workload_->mapper().ShardsOf(*tx);
+          for (size_t i = 0; i < participants.size(); ++i) {
+            obs::TraceEvent hold;
+            hold.kind = obs::EventKind::kCrossHoldSpan;
+            hold.pid = participants[i];
+            hold.ts_us = start + cost;
+            hold.dur_us = cross_outcome.duration;
+            hold.txn = tx->id;
+            hold.a = i;
+            hold.b = participants.size();
+            hold.trace_id = tx->id;
+            hold.span_id = i + 1;
+            hold.parent_id = i == 0 ? 0 : 1;
+            if (participants.size() > 1) {
+              hold.flow = i == 0 ? obs::FlowPhase::kStart
+                          : i + 1 == participants.size()
+                              ? obs::FlowPhase::kEnd
+                              : obs::FlowPhase::kStep;
+            }
+            tracer.Record(hold);
+          }
+        }
       }
     }
     cost += cross_outcome.duration;
@@ -563,6 +617,14 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
   if (is_observer_) {
     // One sample per committed transaction, stamped with the pipeline
     // completion time (see ClusterMetrics::CommitSample).
+    uint64_t singles_done = 0;
+    uint64_t crosses_done = 0;
+    std::map<ShardId, std::pair<uint64_t, uint64_t>> shard_done;
+    obs::MetricsRegistry& m = obs_->metrics();
+    obs::HistogramMetric& commit_apply =
+        m.GetHistogram("phase.commit_apply_us");
+    obs::HistogramMetric& cross_hold =
+        m.GetHistogram("phase.cross_shard_hold_us");
     for (auto& [payload, block_ptr] : ordered) {
       (void)block_ptr;
       Hash256 content_digest = payload->ContentDigest();
@@ -572,12 +634,50 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
         for (const PreplayedTxn& p : payload->preplayed) {
           metrics_->samples.push_back(ClusterMetrics::CommitSample{
               commit_pipeline_free_, p.tx.submit_time, false});
+          ++singles_done;
+          ++shard_done[payload->shard].first;
+          commit_apply.Observe(
+              static_cast<double>(commit_pipeline_free_ - start));
         }
       }
       for (const txn::Transaction& tx : payload->cross_shard) {
         metrics_->samples.push_back(ClusterMetrics::CommitSample{
             commit_pipeline_free_, tx.submit_time, true});
+        ++crosses_done;
+        ++shard_done[payload->shard].second;
+        commit_apply.Observe(
+            static_cast<double>(commit_pipeline_free_ - start));
+        cross_hold.Observe(
+            static_cast<double>(commit_pipeline_free_ - tx.submit_time));
       }
+    }
+    if (singles_done + crosses_done > 0) {
+      // Completion-time accounting: the commit counters tick when the
+      // validation/execution pipeline *finishes* the work, matching the
+      // CommitSample window rule above — so every time-series window's
+      // counter deltas sum exactly to the run's committed totals.
+      simulator_->ScheduleAt(
+          commit_pipeline_free_,
+          [mp = &m, singles_done, crosses_done,
+           shard_done = std::move(shard_done)]() {
+            if (singles_done > 0) {
+              mp->GetCounter("cluster.commits_single").Inc(singles_done);
+            }
+            if (crosses_done > 0) {
+              mp->GetCounter("cluster.commits_cross").Inc(crosses_done);
+            }
+            for (const auto& [shard, done] : shard_done) {
+              if (done.first > 0) {
+                mp->GetCounter("cluster.shard.commits", {{"shard", shard}})
+                    .Inc(done.first);
+              }
+              if (done.second > 0) {
+                mp->GetCounter("cluster.shard.commits_cross",
+                               {{"shard", shard}})
+                    .Inc(done.second);
+              }
+            }
+          });
     }
     metrics_->commit_times.emplace_back(
         static_cast<Round>(metrics_->commit_times.size() + 1),
@@ -651,6 +751,12 @@ void ThunderboltNode::Reconfigure(Round ending_round) {
       }
       for (placement::MigrationEvent& e : events) {
         e.epoch = epoch_;
+        obs_->metrics()
+            .GetCounter("cluster.shard.migrations_in", {{"shard", e.to}})
+            .Inc();
+        obs_->metrics()
+            .GetCounter("cluster.shard.migrations_out", {{"shard", e.from}})
+            .Inc();
         metrics_->migration_events.push_back(std::move(e));
       }
     }

@@ -1,0 +1,53 @@
+#include "obs/latency.h"
+
+#include "obs/metrics.h"
+
+namespace thunderbolt::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kExecute:
+      return "execute";
+    case Phase::kValidate:
+      return "validate";
+    case Phase::kCommitApply:
+      return "commit_apply";
+    case Phase::kCrossShardHold:
+      return "cross_shard_hold";
+    case Phase::kRestartBackoff:
+      return "restart_backoff";
+  }
+  return "unknown";
+}
+
+std::string LatencyBreakdown::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (i > 0) out += ", ";
+    detail::AppendQuoted(out, PhaseName(static_cast<Phase>(i)));
+    const Histogram& h = phase[i];
+    out += ": {\"count\": " + std::to_string(h.Count());
+    if (h.Count() > 0) {
+      out += ", \"mean\": " + detail::FormatDouble(h.Mean());
+      out += ", \"p50\": " + detail::FormatDouble(h.Percentile(50.0));
+      out += ", \"p99\": " + detail::FormatDouble(h.Percentile(99.0));
+      out += ", \"max\": " + detail::FormatDouble(h.Max());
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void MergeIntoRegistry(MetricsRegistry& metrics, const LatencyBreakdown& b) {
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (b.phase[i].Count() == 0) continue;
+    const std::string name =
+        std::string("phase.") + PhaseName(static_cast<Phase>(i)) + "_us";
+    metrics.GetHistogram(name).Merge(b.phase[i]);
+  }
+}
+
+}  // namespace thunderbolt::obs

@@ -1,0 +1,83 @@
+// Per-phase latency decomposition: where each microsecond of a
+// transaction's life went.
+//
+// The pools account for the preplay-side phases (queue wait, execution,
+// restart backoff) while filling BatchExecutionResult; the cluster commit
+// path accounts for the consensus-side phases (validation replay, commit
+// pipeline residence, cross-shard hold). A LatencyBreakdown is one
+// Histogram per phase, merged up the same way pools merge per-worker
+// histograms: single-writer while filling, Merge() at quiescence.
+#ifndef THUNDERBOLT_OBS_LATENCY_H_
+#define THUNDERBOLT_OBS_LATENCY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace thunderbolt::obs {
+
+class MetricsRegistry;
+
+/// The phases a transaction's end-to-end latency decomposes into. Pools
+/// fill the first two and the last; the cluster commit path fills the
+/// middle three.
+enum class Phase : uint8_t {
+  /// Submit (or batch admission) until the first executor attempt starts.
+  kQueueWait = 0,
+  /// Time actually spent running contract steps across all attempts.
+  kExecute,
+  /// Validation replay of the committed block the transaction rode in.
+  kValidate,
+  /// Residence in the observer's commit pipeline (apply + counting).
+  kCommitApply,
+  /// Cross-shard only: submit until the OE execution retired it — the
+  /// total-order hold the paper's OE path pays.
+  kCrossShardHold,
+  /// Accumulated restart penalty + exponential backoff across attempts.
+  kRestartBackoff,
+};
+
+inline constexpr size_t kNumPhases = 6;
+
+/// Stable snake_case name ("queue_wait", ...), used for metric keys
+/// ("phase.<name>_us") and bench JSON fields.
+const char* PhaseName(Phase phase);
+
+/// One histogram of per-transaction durations (microseconds) per phase.
+struct LatencyBreakdown {
+  std::array<Histogram, kNumPhases> phase;
+
+  Histogram& operator[](Phase p) { return phase[static_cast<size_t>(p)]; }
+  const Histogram& operator[](Phase p) const {
+    return phase[static_cast<size_t>(p)];
+  }
+
+  void Merge(const LatencyBreakdown& other) {
+    for (size_t i = 0; i < kNumPhases; ++i) phase[i].Merge(other.phase[i]);
+  }
+  void Clear() {
+    for (Histogram& h : phase) h.Clear();
+  }
+  uint64_t TotalCount() const {
+    uint64_t n = 0;
+    for (const Histogram& h : phase) n += h.Count();
+    return n;
+  }
+
+  /// Deterministic JSON object: {"queue_wait":{"count":..,"mean":..,
+  /// "p50":..,"p99":..,"max":..},...} with empty phases serializing as
+  /// {"count": 0} (matching MetricsRegistry's empty-histogram rule).
+  std::string ToJson() const;
+};
+
+/// Merges every non-empty phase into the registry's "phase.<name>_us"
+/// histograms, so --metrics-out and the time-series windows see the
+/// decomposition without a second plumbing path.
+void MergeIntoRegistry(MetricsRegistry& metrics, const LatencyBreakdown& b);
+
+}  // namespace thunderbolt::obs
+
+#endif  // THUNDERBOLT_OBS_LATENCY_H_

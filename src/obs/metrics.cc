@@ -1,14 +1,14 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace thunderbolt::obs {
 
-namespace {
+namespace detail {
 
-/// Fixed, locale-independent double formatting so equal values always
-/// serialize to equal bytes. %.6g never emits a bare trailing dot and
-/// covers both latencies (fractional) and large sums (exponent form).
+// %.6g never emits a bare trailing dot and covers both latencies
+// (fractional) and large sums (exponent form).
 std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -32,7 +32,28 @@ void AppendQuoted(std::string& out, const std::string& s) {
   out += '"';
 }
 
+}  // namespace detail
+
+namespace {
+using detail::AppendQuoted;
+using detail::FormatDouble;
 }  // namespace
+
+std::string LabeledName(const std::string& name, Labels labels) {
+  if (labels.empty()) return name;
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key;
+    out += '=';
+    out += labels[i].value;
+  }
+  out += '}';
+  return out;
+}
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -72,6 +93,29 @@ const HistogramMetric* MetricsRegistry::FindHistogram(
   std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, Histogram> MetricsRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, Histogram> out;
+  for (const auto& [name, metric] : histograms_) {
+    out.emplace(name, metric->Snapshot());
+  }
+  return out;
 }
 
 std::string MetricsRegistry::ToJson() const {

@@ -23,10 +23,42 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.h"
 
 namespace thunderbolt::obs {
+
+namespace detail {
+/// Fixed, locale-independent double formatting ("%.6g") shared by every
+/// obs JSON emitter so equal values always serialize to equal bytes.
+std::string FormatDouble(double v);
+/// Appends `s` as a quoted JSON string with the control/quote escapes.
+void AppendQuoted(std::string& out, const std::string& s);
+}  // namespace detail
+
+/// One metric dimension. The value constructor accepts integers so call
+/// sites can write GetCounter("cluster.shard.commits", {{"shard", i}}).
+struct Label {
+  std::string key;
+  std::string value;
+
+  Label(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Label(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Label(std::string k, T v) : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+using Labels = std::vector<Label>;
+
+/// Canonical label-set encoding: `name{k1=v1,k2=v2}` with keys sorted, so
+/// the same label set always resolves to the same registry entry and
+/// labeled metrics stay in ToJson()'s sorted deterministic order. Keys and
+/// values must not contain '{', '}', ',' or '=' (metric names are
+/// code-controlled, not user input).
+std::string LabeledName(const std::string& name, Labels labels);
 
 /// Monotonically increasing integer metric.
 class Counter {
@@ -90,12 +122,46 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name);
   HistogramMetric& GetHistogram(const std::string& name);
 
+  /// Labeled (dimensional) variants: resolve `name` + sorted `labels` to
+  /// one entry via LabeledName(), e.g. GetCounter("cluster.shard.commits",
+  /// {{"shard", 2}}) -> "cluster.shard.commits{shard=2}".
+  Counter& GetCounter(const std::string& name, const Labels& labels) {
+    return GetCounter(LabeledName(name, labels));
+  }
+  Gauge& GetGauge(const std::string& name, const Labels& labels) {
+    return GetGauge(LabeledName(name, labels));
+  }
+  HistogramMetric& GetHistogram(const std::string& name,
+                                const Labels& labels) {
+    return GetHistogram(LabeledName(name, labels));
+  }
+
   /// Non-creating lookups: nullptr when the metric was never registered.
   /// Readers (window-delta accounting, tests) use these so probing for a
   /// metric that never fired does not materialize a zero entry in ToJson().
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const HistogramMetric* FindHistogram(const std::string& name) const;
+  const Counter* FindCounter(const std::string& name,
+                             const Labels& labels) const {
+    return FindCounter(LabeledName(name, labels));
+  }
+  const Gauge* FindGauge(const std::string& name, const Labels& labels) const {
+    return FindGauge(LabeledName(name, labels));
+  }
+  const HistogramMetric* FindHistogram(const std::string& name,
+                                       const Labels& labels) const {
+    return FindHistogram(LabeledName(name, labels));
+  }
+
+  /// Point-in-time snapshots of every registered metric, sorted by name.
+  /// The TimeSeriesRecorder samples these at window boundaries; values are
+  /// relaxed atomic reads, so a snapshot taken while writers run is
+  /// per-metric (not cross-metric) consistent — exact under the sim pool,
+  /// approximate-by-design under real threads.
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, Histogram> HistogramSnapshots() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
   /// p50,p99,p999,max}, ...}} with keys sorted. Deterministic for equal

@@ -1,13 +1,18 @@
-// Observability bundle: one MetricsRegistry plus an optional RingTracer,
+// Observability bundle: one MetricsRegistry plus the optional sinks —
+// RingTracer (lifecycle spans), TimeSeriesRecorder (windowed counter
+// deltas) and HealthMonitor (watermark checks riding the same windows) —
 // configured by ObsOptions (threaded through ThunderboltConfig::obs and
-// the benches' --trace-out/--metrics-out flags, see bench/bench_util.h).
+// the benches' --trace-out/--metrics-out/--timeseries-out flags, see
+// bench/bench_util.h).
 #ifndef THUNDERBOLT_OBS_OBS_H_
 #define THUNDERBOLT_OBS_OBS_H_
 
 #include <cstdint>
 #include <memory>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace thunderbolt::obs {
@@ -21,15 +26,32 @@ struct ObsOptions {
   bool trace = false;
   /// Ring capacity in events when tracing; oldest events drop first.
   uint32_t trace_capacity = 1u << 16;
+  /// Record fixed-interval windowed counter deltas (TimeSeriesRecorder).
+  /// The clock is whoever drives SampleWindow: the sim clock inside the
+  /// cluster, accumulated-virtual or wall time in the bench drivers.
+  bool timeseries = false;
+  /// Sampling window width in (virtual or wall) microseconds.
+  uint64_t timeseries_window_us = 100000;
+  /// Run HealthMonitor watermark checks at each closed window. Only
+  /// meaningful with `timeseries` (the monitor rides its windows).
+  bool health = true;
 };
 
-/// Owns the metrics registry and (when enabled) the trace ring. Cheap to
-/// construct when tracing is off.
+/// Owns the metrics registry and (when enabled) the trace ring, the
+/// time-series recorder and the health monitor. Cheap to construct when
+/// everything is off.
 class Observability {
  public:
   explicit Observability(const ObsOptions& options = {}) : options_(options) {
     if (options_.trace) {
       ring_ = std::make_unique<RingTracer>(options_.trace_capacity);
+    }
+    if (options_.timeseries) {
+      timeseries_ = std::make_unique<TimeSeriesRecorder>(
+          &metrics_, options_.timeseries_window_us);
+      if (options_.health) {
+        health_ = std::make_unique<HealthMonitor>(&metrics_, tracer());
+      }
     }
   }
 
@@ -44,10 +66,61 @@ class Observability {
   RingTracer* ring() { return ring_.get(); }
   const RingTracer* ring() const { return ring_.get(); }
 
+  /// The time-series recorder, or nullptr when disabled.
+  TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
+  const TimeSeriesRecorder* timeseries() const { return timeseries_.get(); }
+
+  /// The health monitor, or nullptr when disabled.
+  HealthMonitor* health() { return health_.get(); }
+  const HealthMonitor* health() const { return health_.get(); }
+
+  /// Advances the recorder to now_us and runs the health checks over each
+  /// window that closed. The cluster calls this from a sim-clock event at
+  /// every window boundary; bench drivers call it between cells. No-op
+  /// when time series are disabled.
+  void SampleWindow(uint64_t now_us) {
+    if (!timeseries_) return;
+    const size_t before = timeseries_->window_count();
+    timeseries_->Advance(now_us);
+    RunHealthFrom(before);
+  }
+
+  /// Closes the trailing partial window (end of run) and health-checks it.
+  /// No-op when time series are disabled.
+  void FlushTimeSeries() {
+    if (!timeseries_) return;
+    const size_t before = timeseries_->window_count();
+    timeseries_->Flush();
+    RunHealthFrom(before);
+  }
+
+  /// Mirrors the ring's drop accounting into the metrics registry
+  /// (trace.recorded_events / trace.dropped_events counters). Call at
+  /// capture points; no-op without a ring.
+  void SyncTraceStats() {
+    if (!ring_) return;
+    auto sync = [this](const char* name, uint64_t value) {
+      Counter& c = metrics_.GetCounter(name);
+      if (value > c.value()) c.Inc(value - c.value());
+    };
+    sync("trace.recorded_events", ring_->total_recorded());
+    sync("trace.dropped_events", ring_->dropped());
+  }
+
  private:
+  void RunHealthFrom(size_t first_new_window) {
+    if (!health_) return;
+    const auto windows = timeseries_->Snapshot();
+    for (size_t i = first_new_window; i < windows.size(); ++i) {
+      health_->OnWindow(windows[i]);
+    }
+  }
+
   ObsOptions options_;
   MetricsRegistry metrics_;
   std::unique_ptr<RingTracer> ring_;
+  std::unique_ptr<TimeSeriesRecorder> timeseries_;
+  std::unique_ptr<HealthMonitor> health_;
 };
 
 }  // namespace thunderbolt::obs

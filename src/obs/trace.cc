@@ -52,6 +52,10 @@ const char* EventKindName(EventKind kind) {
       return "wal_checkpoint";
     case EventKind::kWalRecover:
       return "wal_recover";
+    case EventKind::kCrossHoldSpan:
+      return "cross_hold";
+    case EventKind::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -65,6 +69,7 @@ bool IsSpanKind(EventKind kind) {
     case EventKind::kWalAppend:
     case EventKind::kWalCheckpoint:
     case EventKind::kWalRecover:
+    case EventKind::kCrossHoldSpan:
       return true;
     default:
       return false;
@@ -154,15 +159,57 @@ std::string EventToChromeJson(const TraceEvent& event) {
     out += AbortReasonName(event.reason);
     out += "\"";
   }
+  if (event.trace_id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"trace_id\":%llu,\"span_id\":%llu,\"parent_id\":%llu",
+                  static_cast<unsigned long long>(event.trace_id),
+                  static_cast<unsigned long long>(event.span_id),
+                  static_cast<unsigned long long>(event.parent_id));
+    out += buf;
+  }
   out += "}}";
   return out;
 }
 
+std::string FlowToChromeJson(const TraceEvent& event) {
+  if (event.flow == FlowPhase::kNone) return "";
+  // Binding point: the flow record sits at the span's start timestamp on
+  // the span's own track, so the viewer attaches the arrow endpoint to
+  // that span. "f" needs bp:"e" (bind to enclosing slice) for the same.
+  const char* ph = event.flow == FlowPhase::kStart
+                       ? "s"
+                       : event.flow == FlowPhase::kStep ? "t" : "f";
+  const char* bind = event.flow == FlowPhase::kEnd ? ",\"bp\":\"e\"" : "";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"xshard\",\"cat\":\"flow\",\"ph\":\"%s\","
+                "\"id\":%llu,\"ts\":%llu,\"pid\":%u,\"tid\":%u%s}",
+                ph, static_cast<unsigned long long>(event.trace_id),
+                static_cast<unsigned long long>(event.ts_us), event.pid,
+                event.tid, bind);
+  return buf;
+}
+
 std::string RingTracer::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    recorded = recorded_;
+    dropped = recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                    "\"recorded_events\":" + std::to_string(recorded) +
+                    ",\"dropped_events\":" + std::to_string(dropped) +
+                    "},\"traceEvents\":[\n";
   for (size_t i = 0; i < events.size(); ++i) {
     out += EventToChromeJson(events[i]);
+    const std::string flow = FlowToChromeJson(events[i]);
+    if (!flow.empty()) {
+      out += ",\n";
+      out += flow;
+    }
     if (i + 1 < events.size()) out += ",";
     out += "\n";
   }

@@ -67,10 +67,23 @@ enum class EventKind : uint8_t {
   kWalAppend,       // Span: one WAL group-commit barrier (buffered frames flushed).
   kWalCheckpoint,   // Span: checkpoint written + log truncated.
   kWalRecover,      // Span: recovery replay (checkpoint load + log suffix).
+  kCrossHoldSpan,   // Span: one cross-shard txn's hold on one participant shard.
+  kHealth,          // Instant: HealthMonitor watermark alert.
 };
 
 /// Trace-viewer name for the kind ("txn", "commit", "restart", ...).
 const char* EventKindName(EventKind kind);
+
+/// Position of a span in a cross-shard causal chain. Spans with
+/// flow != kNone additionally export Chrome *flow* records ("ph":"s"/"t"/
+/// "f" sharing the span's trace_id), which Perfetto renders as arrows
+/// linking the spans on different shards into one causal tree.
+enum class FlowPhase : uint8_t {
+  kNone = 0,  // Not part of a flow; no extra record exported.
+  kStart,     // First span of the chain (the txn's home shard).
+  kStep,      // Intermediate participant shard.
+  kEnd,       // Last participant shard; terminates the arrow chain.
+};
 
 /// One trace record. Fixed-size POD so the ring buffer never allocates per
 /// event. `pid` scopes the event to a replica (0 outside the cluster) and
@@ -86,9 +99,18 @@ const char* EventKindName(EventKind kind);
 ///   kWalAppend:   a = frames flushed, b = bytes flushed
 ///   kWalCheckpoint: a = entries written, b = last sequence covered
 ///   kWalRecover:  a = checkpoint entries restored, b = log frames replayed
+///   kCrossHoldSpan: a = participant index, b = participant count
+///   kHealth:      a = alert kind (HealthMonitor), b = window index
+///
+/// `trace_id`/`span_id`/`parent_id` form the causal tree: all spans of one
+/// logical transaction share a trace_id (the txn id), each span gets a
+/// per-trace span_id, and parent_id names the span it hangs under (0 for
+/// the root). They default to 0 = "not part of a tree", in which case the
+/// exporter emits exactly the pre-causality record bytes.
 struct TraceEvent {
   EventKind kind = EventKind::kTxnSpan;
   AbortReason reason = AbortReason::kNone;
+  FlowPhase flow = FlowPhase::kNone;
   uint32_t pid = 0;
   uint32_t tid = 0;
   uint64_t ts_us = 0;
@@ -96,6 +118,9 @@ struct TraceEvent {
   uint64_t txn = 0;
   uint64_t a = 0;
   uint64_t b = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
 };
 
 /// True for kinds exported as Chrome "X" (complete) events; instants
@@ -144,9 +169,12 @@ class RingTracer final : public Tracer {
   /// Events oldest-to-newest.
   std::vector<TraceEvent> Snapshot() const;
 
-  /// Chrome trace-event-format JSON ({"traceEvents": [...]}). Load in
-  /// Perfetto (ui.perfetto.dev) or chrome://tracing. Deterministic given
-  /// the same event sequence.
+  /// Chrome trace-event-format JSON. The header's "otherData" carries the
+  /// ring's drop accounting ({"recorded_events":N,"dropped_events":M}) so
+  /// a wrapped capture is visibly partial; events with a FlowPhase emit an
+  /// extra flow record each (see FlowToChromeJson). Load in Perfetto
+  /// (ui.perfetto.dev) or chrome://tracing. Deterministic given the same
+  /// event sequence.
   std::string ToChromeJson() const;
 
   /// Writes ToChromeJson() to `path`. Returns false on IO failure.
@@ -162,6 +190,13 @@ class RingTracer final : public Tracer {
 /// Serializes one event as a Chrome trace-event object (no trailing
 /// newline). Exposed for tests.
 std::string EventToChromeJson(const TraceEvent& event);
+
+/// The companion Chrome *flow* record for an event with flow != kNone
+/// ("ph":"s"/"t"/"f" at the span's start, sharing its pid/tid and
+/// "id" = trace_id), or "" when the event carries no flow. Perfetto binds
+/// the record to the span open at that timestamp on that track, drawing
+/// the causal arrow. Exposed for tests.
+std::string FlowToChromeJson(const TraceEvent& event);
 
 }  // namespace thunderbolt::obs
 

@@ -34,6 +34,8 @@ struct RunOutput {
   uint64_t placement_fingerprint;  // Policy mapping digest.
   std::string trace_json;     // Chrome trace export (virtual timestamps).
   std::string metrics_json;   // Metrics registry snapshot.
+  std::string timeseries_json;  // Windowed counter deltas (sim clock).
+  std::string phase_json;     // Per-phase latency decomposition.
 };
 
 /// (workload name, placement policy name, store backend name).
@@ -50,8 +52,12 @@ RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
   cfg.placement = param.placement;
   cfg.store = param.store;
   // Trace with virtual timestamps under the sim pool: the export itself is
-  // part of the determinism contract (byte-identical JSON per seed).
+  // part of the determinism contract (byte-identical JSON per seed). The
+  // windowed time-series rides the same sim clock, so its export is held
+  // to the same bar.
   cfg.obs.trace = true;
+  cfg.obs.timeseries = true;
+  cfg.obs.timeseries_window_us = 100000;
   if (cfg.placement == "directory") {
     // Exercise the migration path: periodic reconfigurations give the
     // directory policy boundaries to rebalance at.
@@ -88,6 +94,9 @@ RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
   out.placement_fingerprint = cluster.placement().Fingerprint();
   out.trace_json = cluster.obs().ring()->ToChromeJson();
   out.metrics_json = cluster.obs().metrics().ToJson();
+  cluster.obs().FlushTimeSeries();  // Stamp the trailing partial window.
+  out.timeseries_json = cluster.obs().timeseries()->ToJson();
+  out.phase_json = r.phase_latency.ToJson();
   return out;
 }
 
@@ -103,10 +112,14 @@ TEST_P(ClusterDeterminismTest, IdenticalSeedsProduceByteIdenticalRuns) {
   EXPECT_EQ(a.state_fingerprint, b.state_fingerprint);
   EXPECT_EQ(a.placement_fingerprint, b.placement_fingerprint);
   // The whole observability export is deterministic too: same seed, same
-  // bytes, both for the trace ring and the metrics snapshot.
+  // bytes — trace ring, metrics snapshot, windowed time-series and the
+  // per-phase latency decomposition alike.
   EXPECT_FALSE(a.trace_json.empty());
   EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_FALSE(a.timeseries_json.empty());
+  EXPECT_EQ(a.timeseries_json, b.timeseries_json);
+  EXPECT_EQ(a.phase_json, b.phase_json);
 }
 
 TEST_P(ClusterDeterminismTest, DifferentSeedsDiverge) {

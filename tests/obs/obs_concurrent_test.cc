@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace thunderbolt::obs {
@@ -88,6 +89,90 @@ TEST(ObsConcurrentTest, ConcurrentMetricsUpdatesSum) {
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_DOUBLE_EQ(registry.GetGauge("gauge." + std::to_string(t)).value(),
                      static_cast<double>(kPerThread));
+  }
+}
+
+// Labeled metrics resolve through the registry map under its mutex; many
+// threads racing Get on the same and different label sets must converge
+// on one entry per set with nothing lost.
+TEST(ObsConcurrentTest, ConcurrentLabeledCounterResolution) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  constexpr int kShards = 4;
+  MetricsRegistry registry;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const int shard = static_cast<int>((t + i) % kShards);
+        registry.GetCounter("cluster.shard.commits", {{"shard", shard}})
+            .Inc();
+      }
+    });
+  }
+  std::thread reader([&registry]() {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_FALSE(registry.ToJson().empty());
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reader.join();
+
+  uint64_t total = 0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    const Counter* c =
+        registry.FindCounter("cluster.shard.commits", {{"shard", shard}});
+    ASSERT_NE(c, nullptr);
+    // Each thread hits every shard kPerThread / kShards times.
+    EXPECT_EQ(c->value(), kThreads * kPerThread / kShards);
+    total += c->value();
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+// TimeSeriesRecorder under the thread pool: one sampler advancing a
+// wall-ish clock while workers hammer counters. Every increment must land
+// in exactly one window — after a final Flush the per-window deltas sum
+// to the counters' totals no matter how the samples interleaved.
+TEST(ObsConcurrentTest, ConcurrentAdvanceAccountsForEveryIncrement) {
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry, /*window_us=*/50);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t]() {
+      Counter& mine =
+          registry.GetCounter("worker.ops", {{"lane", t}});
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        mine.Inc();
+        registry.GetCounter("shared.ops").Inc();
+      }
+    });
+  }
+  std::thread sampler([&recorder]() {
+    for (uint64_t now = 50; now <= 5000; now += 50) {
+      recorder.Advance(now);
+    }
+  });
+  std::thread reader([&recorder]() {
+    for (int i = 0; i < 20; ++i) {
+      std::vector<TimeSeriesWindow> snap = recorder.Snapshot();
+      EXPECT_FALSE(recorder.ToJson().empty());
+      (void)snap;
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  sampler.join();
+  reader.join();
+
+  recorder.Flush();  // Close the trailing window holding the stragglers.
+  EXPECT_EQ(recorder.CounterTotal("shared.ops"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(recorder.CounterTotal(LabeledName("worker.ops", {{"lane", t}})),
+              kPerThread);
   }
 }
 

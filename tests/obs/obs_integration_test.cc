@@ -2,7 +2,10 @@
 // cluster run must produce the spans/metrics the obs ISSUE promises —
 // one lifecycle span per committed transaction, abort-reason breakdowns
 // under contention, and cluster-level commit-path events.
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -169,6 +172,95 @@ TEST(ObsClusterIntegrationTest, TracedClusterEmitsCommitPathEvents) {
       cluster.obs().metrics().FindCounter("store.gets");
   ASSERT_NE(gets, nullptr);
   EXPECT_GT(gets->value(), 0u);
+}
+
+// The time-series / causality / phase-decomposition tentpole, end to end:
+// a traced cluster run with windowed sampling must attribute every commit
+// to exactly one window (deltas sum to the run totals), link a cross-shard
+// transaction's hold spans across shards through flow events, break the
+// totals down per shard via labeled counters, and populate both the pool-
+// side and consensus-side phases of ClusterResult::phase_latency.
+TEST(ObsClusterIntegrationTest, TimeSeriesWindowsSumToRunTotals) {
+  core::ThunderboltConfig cfg;
+  cfg.n = 4;
+  cfg.batch_size = 100;
+  cfg.seed = 31;
+  cfg.obs.trace = true;
+  cfg.obs.trace_capacity = 1u << 18;
+  cfg.obs.timeseries = true;
+  cfg.obs.timeseries_window_us = 100000;  // 100ms windows over a 2s run.
+  workload::WorkloadOptions wo;
+  wo.num_records = 300;
+  wo.theta = 0.9;
+  wo.read_ratio = 0.5;
+  wo.cross_shard_ratio = 0.1;
+  wo.seed = 32;
+  core::Cluster cluster(cfg, "smallbank", wo);
+  core::ClusterResult r = cluster.Run(Seconds(2));
+  ASSERT_GT(r.committed_single, 0u);
+  ASSERT_GT(r.committed_cross, 0u);
+
+  // Close the trailing partial window; the per-window cluster.commits_*
+  // deltas must then sum exactly to the run's completion-time totals —
+  // the invariant scripts/check_timeseries.py re-checks on CI artifacts.
+  cluster.obs().FlushTimeSeries();
+  obs::TimeSeriesRecorder* ts = cluster.obs().timeseries();
+  ASSERT_NE(ts, nullptr);
+  EXPECT_GE(ts->window_count(), 10u);
+  EXPECT_EQ(ts->CounterTotal("cluster.commits_single"), r.committed_single);
+  EXPECT_EQ(ts->CounterTotal("cluster.commits_cross"), r.committed_cross);
+  // Commits spread across windows: a throughput-over-time series, not one
+  // end-of-run lump.
+  size_t windows_with_commits = 0;
+  for (const obs::TimeSeriesWindow& w : ts->Snapshot()) {
+    if (w.Delta("cluster.commits_single") > 0) ++windows_with_commits;
+  }
+  EXPECT_GT(windows_with_commits, 1u);
+
+  // The labeled per-shard counters partition the same totals.
+  uint64_t shard_single = 0;
+  uint64_t shard_cross = 0;
+  for (uint32_t shard = 0; shard < cfg.n; ++shard) {
+    const obs::Counter* single = cluster.obs().metrics().FindCounter(
+        "cluster.shard.commits", {{"shard", shard}});
+    if (single != nullptr) shard_single += single->value();
+    const obs::Counter* cross = cluster.obs().metrics().FindCounter(
+        "cluster.shard.commits_cross", {{"shard", shard}});
+    if (cross != nullptr) shard_cross += cross->value();
+  }
+  EXPECT_EQ(shard_single, r.committed_single);
+  EXPECT_EQ(shard_cross, r.committed_cross);
+
+  // Cross-shard causality: at least one transaction's hold spans appear on
+  // two or more shards (pids) under one trace id, linked by a flow chain
+  // that starts and ends.
+  ASSERT_NE(cluster.obs().ring(), nullptr);
+  std::map<uint64_t, std::set<uint32_t>> shards_by_trace;
+  size_t flow_starts = 0;
+  size_t flow_ends = 0;
+  for (const obs::TraceEvent& e : cluster.obs().ring()->Snapshot()) {
+    if (e.kind != obs::EventKind::kCrossHoldSpan) continue;
+    EXPECT_NE(e.trace_id, 0u);
+    if (e.flow == obs::FlowPhase::kNone) continue;
+    shards_by_trace[e.trace_id].insert(e.pid);
+    if (e.flow == obs::FlowPhase::kStart) ++flow_starts;
+    if (e.flow == obs::FlowPhase::kEnd) ++flow_ends;
+  }
+  bool linked_across_shards = false;
+  for (const auto& [trace_id, shards] : shards_by_trace) {
+    if (shards.size() >= 2) linked_across_shards = true;
+  }
+  EXPECT_TRUE(linked_across_shards);
+  EXPECT_GT(flow_starts, 0u);
+  EXPECT_EQ(flow_starts, flow_ends);  // Every chain terminates.
+
+  // Per-phase latency decomposition: the pools filled the preplay-side
+  // phases, the observer's commit path the consensus-side ones.
+  EXPECT_GT(r.phase_latency[obs::Phase::kQueueWait].Count(), 0u);
+  EXPECT_GT(r.phase_latency[obs::Phase::kExecute].Count(), 0u);
+  EXPECT_GT(r.phase_latency[obs::Phase::kValidate].Count(), 0u);
+  EXPECT_GT(r.phase_latency[obs::Phase::kCommitApply].Count(), 0u);
+  EXPECT_GT(r.phase_latency[obs::Phase::kCrossShardHold].Count(), 0u);
 }
 
 TEST(ObsClusterIntegrationTest, TracingOffByDefaultAndNullSafe) {

@@ -162,6 +162,101 @@ TEST(ChromeJsonTest, FullExportWellFormed) {
   EXPECT_TRUE(LooksLikeWellFormedJson(empty.ToChromeJson()));
 }
 
+// The export header must make a wrapped capture visibly partial: the
+// ring's drop accounting travels in "otherData" so a consumer (or the CI
+// artifact reader) can tell "all events" from "the most recent N".
+TEST(ChromeJsonTest, HeaderCarriesDropAccounting) {
+  RingTracer tracer(4);
+  for (uint64_t i = 1; i <= 10; ++i) tracer.Record(MakeEvent(i));
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"recorded_events\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos) << json;
+  EXPECT_TRUE(LooksLikeWellFormedJson(json));
+
+  RingTracer fresh(4);
+  fresh.Record(MakeEvent(1));
+  const std::string no_drops = fresh.ToChromeJson();
+  EXPECT_NE(no_drops.find("\"recorded_events\":1"), std::string::npos);
+  EXPECT_NE(no_drops.find("\"dropped_events\":0"), std::string::npos);
+}
+
+// Causality fields are opt-in: an event without a trace_id exports exactly
+// the pre-causality record, so historical traces stay byte-identical.
+TEST(ChromeJsonTest, CausalityFieldsOnlyWithTraceId) {
+  TraceEvent plain = MakeEvent(10, EventKind::kTxnSpan);
+  EXPECT_EQ(EventToChromeJson(plain).find("trace_id"), std::string::npos);
+
+  TraceEvent linked = plain;
+  linked.trace_id = 42;
+  linked.span_id = 2;
+  linked.parent_id = 1;
+  const std::string json = EventToChromeJson(linked);
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":1"), std::string::npos);
+  EXPECT_TRUE(LooksLikeWellFormedJson(json));
+}
+
+TEST(FlowJsonTest, PhasesMapToChromeFlowRecords) {
+  TraceEvent e;
+  e.kind = EventKind::kCrossHoldSpan;
+  e.pid = 3;
+  e.ts_us = 500;
+  e.dur_us = 20;
+  e.trace_id = 77;
+  e.span_id = 1;
+
+  EXPECT_EQ(FlowToChromeJson(e), "");  // kNone: no extra record.
+
+  e.flow = FlowPhase::kStart;
+  const std::string start = FlowToChromeJson(e);
+  EXPECT_NE(start.find("\"ph\":\"s\""), std::string::npos) << start;
+  EXPECT_NE(start.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(start.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_EQ(start.find("\"bp\""), std::string::npos);
+  EXPECT_TRUE(LooksLikeWellFormedJson(start));
+
+  e.flow = FlowPhase::kStep;
+  EXPECT_NE(FlowToChromeJson(e).find("\"ph\":\"t\""), std::string::npos);
+
+  // The terminator binds to the enclosing slice so the arrow head lands
+  // on the span, not on the next event on the track.
+  e.flow = FlowPhase::kEnd;
+  const std::string end = FlowToChromeJson(e);
+  EXPECT_NE(end.find("\"ph\":\"f\""), std::string::npos) << end;
+  EXPECT_NE(end.find("\"bp\":\"e\""), std::string::npos);
+}
+
+// A flow-tagged span exports two records: the "X" slice and its companion
+// flow record, both inside one well-formed document.
+TEST(FlowJsonTest, FullExportInterleavesFlowRecords) {
+  RingTracer tracer(8);
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    TraceEvent e;
+    e.kind = EventKind::kCrossHoldSpan;
+    e.pid = shard;
+    e.ts_us = 100;
+    e.dur_us = 30;
+    e.txn = 9;
+    e.trace_id = 9;
+    e.span_id = shard + 1;
+    e.parent_id = shard == 0 ? 0 : 1;
+    e.flow = shard == 0 ? FlowPhase::kStart : FlowPhase::kEnd;
+    tracer.Record(e);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(LooksLikeWellFormedJson(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Both flow records share the transaction's trace id.
+  size_t flows = 0;
+  for (size_t pos = json.find("\"cat\":\"flow\""); pos != std::string::npos;
+       pos = json.find("\"cat\":\"flow\"", pos + 1)) {
+    ++flows;
+  }
+  EXPECT_EQ(flows, 2u);
+}
+
 TEST(ChromeJsonTest, DeterministicForSameEvents) {
   auto fill = [](RingTracer* t) {
     for (uint64_t i = 0; i < 6; ++i) {
