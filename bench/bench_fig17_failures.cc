@@ -12,7 +12,8 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
               const std::string& workload_name,
               workload::WorkloadOptions options,
               const bench::PlacementSelection& placement,
-              const bench::StoreSelection& store, bench::ObsSelection* obs,
+              const bench::StoreSelection& store,
+              const bench::ServiceSelection& service, bench::ObsSelection* obs,
               SimTime duration, bench::Table& table,
               obs::LatencyBreakdown* phases) {
   for (double pct : {0.0, 0.04, 0.08, 0.20, 0.60, 1.0}) {
@@ -23,6 +24,7 @@ void RunSweep(core::ExecutionMode mode, const char* name, uint32_t failures,
     cfg.seed = 101;
     placement.ApplyTo(&cfg);
     store.ApplyTo(&cfg);
+    service.ApplyTo(&cfg);
     obs->ApplyTo(&cfg);
     options.cross_shard_ratio = pct;
     core::Cluster cluster(cfg, workload_name, options);
@@ -54,6 +56,9 @@ int main(int argc, char** argv) {
   const bench::PlacementSelection placement =
       bench::PlacementFromFlags(argc, argv);
   const bench::StoreSelection store = bench::StoreFromFlags(argc, argv);
+  // --arrival/--rate run the failure sweep open-loop: throughput under
+  // crashes is then capped by offered load, and latency is arrival->commit.
+  const bench::ServiceSelection service = bench::ServiceFromFlags(argc, argv);
   bench::ObsSelection obs = bench::ObsFromFlags(argc, argv);
   bench::Banner(
       "Figure 17", "replica failures (f = 1, 2) on 16 replicas",
@@ -64,20 +69,25 @@ int main(int argc, char** argv) {
   std::printf("workload: %s  placement: %s  store: %s\n",
               workload_name.c_str(), placement.policy.c_str(),
               store.name.c_str());
+  if (service.config.enabled) {
+    std::printf("open loop: arrival=%s rate=%.0f tps admission=%s\n",
+                service.config.arrival.c_str(), service.config.rate_tps,
+                service.config.admission.c_str());
+  }
   bench::Table table({"system", "failed", "cross%", "tput(tps)",
                       "latency(s)", "reconfigs"});
   obs::LatencyBreakdown phases;
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt", 0,
-           workload_name, options, placement, store, &obs, duration, table,
-           &phases);
+           workload_name, options, placement, store, service, &obs, duration,
+           table, &phases);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/1", 1,
-           workload_name, options, placement, store, &obs, duration, table,
-           &phases);
+           workload_name, options, placement, store, service, &obs, duration,
+           table, &phases);
   RunSweep(core::ExecutionMode::kThunderbolt, "Thunderbolt/2", 2,
-           workload_name, options, placement, store, &obs, duration, table,
-           &phases);
+           workload_name, options, placement, store, service, &obs, duration,
+           table, &phases);
   RunSweep(core::ExecutionMode::kTusk, "Tusk", 0, workload_name, options,
-           placement, store, &obs, duration, table, &phases);
+           placement, store, service, &obs, duration, table, &phases);
   bench::PhaseLatencyTable(phases);
   return bench::WriteTablesJsonIfRequested(argc, argv, "fig17") |
          obs.WriteIfRequested();

@@ -22,6 +22,7 @@
 #include "obs/obs.h"
 #include "placement/placement.h"
 #include "storage/kv_store.h"
+#include "svc/service.h"
 #include "workload/workload.h"
 
 namespace thunderbolt::bench {
@@ -386,6 +387,96 @@ inline PoolSelection PoolFromFlags(int argc, char** argv) {
       std::exit(2);
     }
     selection.name = name;
+  }
+  return selection;
+}
+
+/// The open-loop service front end a bench binary was asked to run with
+/// (disabled unless --arrival or --rate is given).
+struct ServiceSelection {
+  svc::ServiceConfig config;
+
+  void ApplyTo(core::ThunderboltConfig* cluster_config) const {
+    cluster_config->service = config;
+  }
+};
+
+/// Shared `--arrival <name>` / `--arrival-params <k=v,...>` /
+/// `--rate <tps>` / `--admission <policy>` / `--queue-depth <n>` handling
+/// so every bench binary can run open-loop. Passing either `--arrival` or
+/// `--rate` enables the front end (the other takes its default); the
+/// remaining knobs refine it. Optional extras: `--limiter-rate <tps>` /
+/// `--limiter-burst <tokens>` (token bucket ahead of the queues) and
+/// `--codel-target-us <us>`. Validates the arrival name against
+/// svc::ArrivalRegistry and the policy against ParseAdmissionPolicy,
+/// exiting with code 2 on a typo (mirroring --workload/--placement — a
+/// typo must not silently bench the closed loop).
+inline ServiceSelection ServiceFromFlags(int argc, char** argv) {
+  ServiceSelection selection;
+  const std::string arrival = FlagValue(argc, argv, "arrival");
+  const std::string rate = FlagValue(argc, argv, "rate");
+  selection.config.enabled = !arrival.empty() || !rate.empty();
+  if (!arrival.empty()) {
+    if (!svc::ArrivalRegistry::Global().Contains(arrival)) {
+      std::fprintf(stderr, "unknown arrival process \"%s\"; registered:",
+                   arrival.c_str());
+      for (const std::string& n : svc::ArrivalRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    selection.config.arrival = arrival;
+  }
+  selection.config.arrival_params = FlagValue(argc, argv, "arrival-params");
+  if (!rate.empty()) {
+    selection.config.rate_tps = std::strtod(rate.c_str(), nullptr);
+    if (!(selection.config.rate_tps > 0)) {
+      std::fprintf(stderr, "invalid --rate \"%s\"\n", rate.c_str());
+      std::exit(2);
+    }
+  }
+  const std::string admission = FlagValue(argc, argv, "admission");
+  if (!admission.empty()) {
+    svc::AdmissionPolicy policy;
+    if (!svc::ParseAdmissionPolicy(admission, &policy)) {
+      std::fprintf(stderr, "unknown admission policy \"%s\"; registered:",
+                   admission.c_str());
+      for (const std::string& n : svc::AdmissionPolicyNames()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    selection.config.admission = admission;
+  }
+  const std::string depth = FlagValue(argc, argv, "queue-depth");
+  if (!depth.empty()) {
+    selection.config.queue_depth =
+        static_cast<uint32_t>(std::strtoul(depth.c_str(), nullptr, 10));
+    if (selection.config.queue_depth == 0) {
+      std::fprintf(stderr, "invalid --queue-depth \"%s\"\n", depth.c_str());
+      std::exit(2);
+    }
+  }
+  const std::string limiter_rate = FlagValue(argc, argv, "limiter-rate");
+  if (!limiter_rate.empty()) {
+    selection.config.limiter_rate_tps =
+        std::strtod(limiter_rate.c_str(), nullptr);
+  }
+  const std::string limiter_burst = FlagValue(argc, argv, "limiter-burst");
+  if (!limiter_burst.empty()) {
+    selection.config.limiter_burst =
+        std::strtod(limiter_burst.c_str(), nullptr);
+  }
+  const std::string codel = FlagValue(argc, argv, "codel-target-us");
+  if (!codel.empty()) {
+    selection.config.codel_target = std::strtoull(codel.c_str(), nullptr, 10);
+    if (selection.config.codel_target == 0) {
+      std::fprintf(stderr, "invalid --codel-target-us \"%s\"\n",
+                   codel.c_str());
+      std::exit(2);
+    }
   }
   return selection;
 }

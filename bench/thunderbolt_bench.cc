@@ -24,6 +24,11 @@
 //   --store <name>           storage backend (see --store-list)    [mem]
 //   --placement <name>       placement policy (see --placement-list) [hash]
 //   --placement-params <k=v,...>  policy parameters          []
+//   --arrival <name>         open-loop arrival process (poisson,burst,
+//                            trace); enables the service front end
+//   --rate <tps>             open-loop offered load          [20000]
+//   --admission <policy>     drop-tail, shed-oldest, codel   [drop-tail]
+//   --queue-depth <n>        per-shard admission queue bound [1024]
 //   --params <k=v,...>       extra WorkloadOptions overrides []
 //   --json <path>            output path          [thunderbolt_bench.json]
 //   --trace-out <path>       write a Chrome trace of the sweep's last cell
@@ -50,6 +55,13 @@
 // tps/latency are wall-clock numbers; with the default sim pool they are
 // virtual time. The two are not comparable — see EXPERIMENTS.md. The
 // "serial" engine always executes inline regardless of --pool.
+//
+// With --arrival/--rate each cell runs OPEN LOOP: a svc::ServiceFrontEnd
+// generates arrivals on the cell's virtual clock, the admission policy
+// decides what the queues keep, and the pool executes dequeued batches
+// with arrival-stamped submit times — so p50/p99/p999 become end-to-end
+// (arrival -> commit). Requires the sim pool (arrivals live on virtual
+// time) and a real batch engine (serial has no pipeline to backpressure).
 #include <array>
 #include <cinttypes>
 #include <memory>
@@ -85,6 +97,7 @@ struct DriverConfig {
   bench::PlacementSelection placement;
   bench::StoreSelection store;
   bench::ObsSelection obs;
+  bench::ServiceSelection service;
   /// Raw `--params` overrides, applied after the flag-derived fields.
   std::string params;
   std::string json_path = "thunderbolt_bench.json";
@@ -120,6 +133,12 @@ struct SweepResult {
   /// Virtual (sim pool) or wall (thread pool) time the cell consumed;
   /// drives the sweep-level time-series clock.
   SimTime total_time = 0;
+  /// Open-loop accounting (all 0 in closed-loop cells); see
+  /// svc/admission.h for the terminology.
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
 };
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -186,6 +205,94 @@ Result<SweepResult> RunCell(const DriverConfig& config,
   SimTime total_time = 0;
   Histogram latency_us;
   uint64_t cross_generated = 0;
+
+  if (config.service.config.enabled) {
+    // Open loop: the front end generates arrivals on the cell's virtual
+    // clock; the pool executes dequeued batches with arrival-stamped
+    // submit times (pool latency = committed - submit_time, i.e. end to
+    // end). ParseFlags already rejected "serial" and the thread pool.
+    svc::ServiceFrontEnd front_end(
+        config.service.config, config.shards, options.seed,
+        [&w](ShardId shard) { return w->NextForShard(shard); },
+        &obs->metrics());
+    const uint64_t target =
+        static_cast<uint64_t>(config.runs) * batch_size;
+    SimTime clock = 0;
+    ShardId next_shard = 0;
+    while (out.txns < target) {
+      front_end.AdvanceTo(clock);
+      std::vector<txn::Transaction> batch;
+      batch.reserve(batch_size);
+      // Round-robin dequeue across shards, rotating the starting shard so
+      // no shard's queue is structurally favored.
+      for (uint32_t k = 0; k < config.shards && batch.size() < batch_size;
+           ++k) {
+        const ShardId shard =
+            static_cast<ShardId>((next_shard + k) % config.shards);
+        std::vector<txn::Transaction> part =
+            front_end.Dequeue(shard, clock, batch_size - batch.size());
+        for (txn::Transaction& tx : part) batch.push_back(std::move(tx));
+      }
+      next_shard = static_cast<ShardId>((next_shard + 1) % config.shards);
+      if (batch.empty()) {
+        // Idle: fast-forward to the next arrival instead of spinning.
+        const SimTime next = front_end.NextArrivalTime();
+        if (next == kSimTimeNever) break;  // Trace replay exhausted.
+        clock = next;
+        continue;
+      }
+      for (const txn::Transaction& tx : batch) {
+        if (!w->mapper().IsSingleShard(tx)) ++cross_generated;
+      }
+      // Size the engine to the batch actually dequeued: under open loop
+      // batches can be partial, and AllCommitted() compares against the
+      // constructed capacity.
+      auto engine = ce::EngineRegistry::Global().Create(
+          engine_name, store.get(), static_cast<uint32_t>(batch.size()));
+      if (engine == nullptr) {
+        return Status::NotFound("unknown engine: " + engine_name);
+      }
+      THUNDERBOLT_ASSIGN_OR_RETURN(
+          ce::BatchExecutionResult r,
+          pool->Run(*engine, *registry, batch, clock));
+      THUNDERBOLT_RETURN_NOT_OK(store->Write(r.final_writes));
+      clock += r.duration;
+      out.phases.Merge(r.phases);
+      out.aborts += r.total_aborts;
+      for (size_t reason = 0; reason < obs::kNumAbortReasons; ++reason) {
+        out.abort_reasons[reason] += r.abort_reasons[reason];
+      }
+      for (double sample : r.commit_latency_us.samples()) {
+        latency_us.Add(sample);
+      }
+      out.txns += batch.size();
+    }
+    total_time = clock;
+    const svc::ServiceFrontEnd::Counters& c = front_end.counters();
+    out.offered = c.offered;
+    out.admitted = c.admitted;
+    out.shed = c.shed;
+    out.rejected = c.rejected;
+    out.tps = total_time == 0
+                  ? 0
+                  : static_cast<double>(out.txns) / ToSeconds(total_time);
+    out.p50_latency_us = latency_us.Percentile(50.0);
+    out.p99_latency_us = latency_us.Percentile(99.0);
+    out.p999_latency_us = latency_us.Percentile(99.9);
+    out.latency_samples = latency_us.Count();
+    out.re_execs_per_txn =
+        out.txns == 0 ? 0
+                      : static_cast<double>(out.aborts) /
+                            static_cast<double>(out.txns);
+    out.cross_frac = out.txns == 0
+                         ? 0
+                         : static_cast<double>(cross_generated) /
+                               static_cast<double>(out.txns);
+    out.invariant_ok = w->CheckInvariant(*store).ok();
+    out.total_time = total_time;
+    return out;
+  }
+
   for (uint32_t run = 0; run < config.runs; ++run) {
     std::vector<txn::Transaction> batch;
     if (config.shards > 1) {
@@ -305,9 +412,18 @@ bool WriteResultsJson(const std::string& path,
     std::fprintf(
         f,
         "}, \"phase_latency\": %s, \"re_execs_per_txn\": %.4f, "
-        "\"cross_frac\": %.4f, \"invariant_ok\": %s}",
+        "\"cross_frac\": %.4f, \"invariant_ok\": %s",
         r.phases.ToJson().c_str(), r.re_execs_per_txn, r.cross_frac,
         r.invariant_ok ? "true" : "false");
+    if (config.service.config.enabled) {
+      // Open-loop cells carry the front end's accounting; closed-loop
+      // JSON keeps its historical schema.
+      std::fprintf(f,
+                   ", \"offered\": %" PRIu64 ", \"admitted\": %" PRIu64
+                   ", \"shed\": %" PRIu64 ", \"rejected\": %" PRIu64,
+                   r.offered, r.admitted, r.shed, r.rejected);
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "%s\n  ]\n}\n", results.empty() ? "" : "\n");
   std::fclose(f);
@@ -408,6 +524,37 @@ DriverConfig ParseFlags(int argc, char** argv) {
   config.placement = bench::PlacementFromFlags(argc, argv);
   config.store = bench::StoreFromFlags(argc, argv);
   config.obs = bench::ObsFromFlags(argc, argv);
+  config.service = bench::ServiceFromFlags(argc, argv);
+  if (config.service.config.enabled) {
+    // Open loop needs the virtual clock (arrivals are sim events) and a
+    // pipeline to backpressure: "serial" executes inline with no admission
+    // point, and the thread pool runs on wall time. A defaulted "all"
+    // engine list just drops serial; an explicit request is an error.
+    for (const std::string& pool_name : config.pools) {
+      if (pool_name != "sim") {
+        std::fprintf(stderr,
+                     "--arrival/--rate (open loop) requires --pool sim: "
+                     "arrivals are virtual-time events\n");
+        std::exit(2);
+      }
+    }
+    const bool serial_explicit = !engines.empty() && engines != "all";
+    std::vector<std::string> kept;
+    for (const std::string& engine_name : config.engines) {
+      if (engine_name != "serial") {
+        kept.push_back(engine_name);
+        continue;
+      }
+      if (serial_explicit) {
+        std::fprintf(stderr,
+                     "--arrival/--rate (open loop) does not support the "
+                     "\"serial\" engine: it executes inline with no "
+                     "admission pipeline\n");
+        std::exit(2);
+      }
+    }
+    config.engines = std::move(kept);
+  }
   config.params = bench::FlagValue(argc, argv, "params");
   // The driver's own flags/sweep own these axes; a --params override would
   // be clobbered per cell and mislabel the JSON series.
@@ -469,6 +616,14 @@ int main(int argc, char** argv) {
   if (config.shards > 1 || config.store.name != "mem") {
     std::printf("shards: %u  placement: %s  store: %s\n", config.shards,
                 config.placement.policy.c_str(), config.store.name.c_str());
+  }
+  if (config.service.config.enabled) {
+    std::printf(
+        "open loop: arrival=%s rate=%.0f tps admission=%s queue-depth=%u\n",
+        config.service.config.arrival.c_str(),
+        config.service.config.rate_tps,
+        config.service.config.admission.c_str(),
+        config.service.config.queue_depth);
   }
   bench::Table table({"workload", "engine", "pool", "thr", "batch", "theta",
                       "tput(tps)", "p50(us)", "p99(us)", "p999(us)",

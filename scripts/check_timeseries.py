@@ -7,7 +7,13 @@ Validates the invariants the TimeSeriesRecorder promises:
     only as the final flush stamp: counters that moved after the last
     boundary close at end-of-run with start_us == end_us);
   * every counter delta is attributed to exactly one window, so the
-    per-window deltas of each counter sum to its entry in totals.
+    per-window deltas of each counter sum to its entry in totals;
+  * when the run used the open-loop service front end (svc.* counters
+    present), its conservation law holds over the totals:
+      offered == admitted + rejected       (door-level split)
+      shed + dequeued <= admitted          (the rest is still queued)
+      commits <= dequeued                  (the pipeline can only commit
+                                            work it was handed)
 
 Usage: check_timeseries.py <timeseries.json>
 Exits 0 when the artifact is well-formed, 1 with a diagnostic otherwise.
@@ -64,6 +70,28 @@ def main():
     for name in sums:
         if name not in doc["totals"]:
             fail(f"counter {name!r} appears in windows but not in totals")
+
+    totals = doc["totals"]
+    if "svc.offered" in totals:
+        offered = totals.get("svc.offered", 0)
+        admitted = totals.get("svc.admitted", 0)
+        rejected = totals.get("svc.rejected", 0)
+        shed = totals.get("svc.shed", 0)
+        dequeued = totals.get("svc.dequeued", 0)
+        if offered != admitted + rejected:
+            fail(f"svc conservation: offered {offered} != admitted "
+                 f"{admitted} + rejected {rejected}")
+        if shed + dequeued > admitted:
+            fail(f"svc conservation: shed {shed} + dequeued {dequeued} "
+                 f"> admitted {admitted}")
+        commits = (totals.get("cluster.commits_single", 0) +
+                   totals.get("cluster.commits_cross", 0))
+        if commits > dequeued:
+            fail(f"svc conservation: commits {commits} > dequeued "
+                 f"{dequeued}")
+        print(f"check_timeseries: svc conservation OK (offered {offered}, "
+              f"admitted {admitted}, rejected {rejected}, shed {shed}, "
+              f"dequeued {dequeued}, commits {commits})")
 
     print(f"check_timeseries: OK ({len(doc['windows'])} windows, "
           f"{len(doc['totals'])} counters)")

@@ -69,6 +69,16 @@ Cluster::Cluster(ThunderboltConfig config, const std::string& workload_name,
     std::abort();
   }
   workload_->InitStore(shared_->canonical.get());
+  if (config_.service.enabled) {
+    // Open-loop front end: the arrival processes draw client transactions
+    // from the workload (one shard-homed stream per shard) and proposers
+    // dequeue admitted work instead of generating batches on demand.
+    service_ = std::make_unique<svc::ServiceFrontEnd>(
+        config_.service, config_.n, config_.seed,
+        [w = workload_.get()](ShardId shard) { return w->NextForShard(shard); },
+        &obs_->metrics());
+    shared_->service = service_.get();
+  }
   metrics_ = std::make_unique<ClusterMetrics>();
 
   nodes_.reserve(config_.n);
@@ -132,6 +142,7 @@ ClusterResult Cluster::Run(SimTime duration) {
     if (obs_->timeseries() != nullptr && config_.obs.timeseries_window_us > 0) {
       ScheduleWindowSample(config_.obs.timeseries_window_us);
     }
+    if (service_ != nullptr) PumpArrivals();
   }
   SimTime start = simulator_->Now();
   SimTime end = start + duration;
@@ -159,6 +170,7 @@ ClusterResult Cluster::Run(SimTime duration) {
   // completion time lies within it: consensus alone does not "commit" work
   // the executor has not caught up with (ClusterMetrics::CommitSample).
   Histogram window;
+  Histogram admit_window;  // completion - admit: the admit->commit view.
   for (; sample_cursor_ < metrics_->samples.size(); ++sample_cursor_) {
     const ClusterMetrics::CommitSample& s =
         metrics_->samples[sample_cursor_];
@@ -169,6 +181,7 @@ ClusterResult Cluster::Run(SimTime duration) {
       ++result.committed_single;
     }
     window.Add(static_cast<double>(s.completion - s.submit));
+    admit_window.Add(static_cast<double>(s.completion - s.admit));
   }
 
   uint64_t committed = result.committed_single + result.committed_cross;
@@ -179,6 +192,17 @@ ClusterResult Cluster::Run(SimTime duration) {
   result.p99_latency_s = window.Percentile(99) / 1e6;
   result.p999_latency_s = window.Percentile(99.9) / 1e6;
   result.latency_samples = window.Count();
+  result.admit_p99_latency_s = admit_window.Percentile(99) / 1e6;
+  result.admit_p999_latency_s = admit_window.Percentile(99.9) / 1e6;
+
+  if (service_ != nullptr) {
+    const svc::ServiceFrontEnd::Counters& c = service_->counters();
+    result.offered = c.offered - svc_snapshot_.offered;
+    result.admitted = c.admitted - svc_snapshot_.admitted;
+    result.rejected = c.rejected - svc_snapshot_.rejected;
+    result.shed = c.shed - svc_snapshot_.shed;
+    svc_snapshot_ = c;
+  }
 
   // Surface cluster-level outcomes and the canonical store's traffic
   // counters through the registry, so a --metrics-out snapshot captures
@@ -220,6 +244,11 @@ ClusterResult Cluster::Run(SimTime duration) {
   m.GetCounter("cluster.preplay_aborts").Inc(result.preplay_aborts);
   m.GetCounter("cluster.migrations").Inc(result.migrations);
   m.GetHistogram("cluster.commit_latency_us").Merge(window);
+  // Only under the front end, so closed-loop metrics snapshots stay
+  // byte-identical to before (there admit == submit anyway).
+  if (service_ != nullptr) {
+    m.GetHistogram("cluster.admit_latency_us").Merge(admit_window);
+  }
   obs_->SyncTraceStats();
 
   // Window deltas of the six phase.<name>_us histograms (pool-side phases
@@ -246,6 +275,15 @@ void Cluster::ScheduleWindowSample(SimTime when) {
   simulator_->ScheduleAt(when, [this, when]() {
     obs_->SampleWindow(when);
     ScheduleWindowSample(when + config_.obs.timeseries_window_us);
+  });
+}
+
+void Cluster::PumpArrivals() {
+  const SimTime next = service_->NextArrivalTime();
+  if (next == kSimTimeNever) return;  // Trace replay exhausted.
+  simulator_->ScheduleAt(next, [this, next]() {
+    service_->AdvanceTo(next);
+    PumpArrivals();
   });
 }
 

@@ -16,6 +16,7 @@
 #include "obs/latency.h"
 #include "obs/obs.h"
 #include "placement/placement.h"
+#include "svc/service.h"
 #include "workload/workload.h"
 
 namespace thunderbolt::core {
@@ -55,6 +56,22 @@ struct ClusterResult {
   /// count different populations (preplayed vs committed vs cross-shard
   /// transactions), so their counts need not match latency_samples.
   obs::LatencyBreakdown phase_latency;
+
+  // --- Service front end (all 0 in closed-loop runs) ------------------------
+  /// Window deltas of the front end's accounting (svc/admission.h
+  /// terminology): arrivals generated / accepted into a queue / turned away
+  /// at the door (limiter or full drop-tail/codel queue) / dropped after
+  /// admission (shed-oldest eviction, codel deadline shedding).
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  /// Admit->commit percentiles over the same window samples as
+  /// p99/p999_latency_s (which are arrival->commit under the front end);
+  /// the gap between the two views is the admission-queue wait. Meaningless
+  /// when latency_samples == 0.
+  double admit_p99_latency_s = 0;
+  double admit_p999_latency_s = 0;
 };
 
 class Cluster {
@@ -103,6 +120,8 @@ class Cluster {
   const obs::Observability& obs() const { return *obs_; }
   workload::Workload& workload() { return *workload_; }
   const workload::Workload& workload() const { return *workload_; }
+  /// The open-loop service front end; null unless config.service.enabled.
+  const svc::ServiceFrontEnd* service() const { return service_.get(); }
   /// The placement policy every node maps accounts through (mutated only
   /// at reconfiguration boundaries by hot-key migration).
   const placement::PlacementPolicy& placement() const { return *placement_; }
@@ -132,6 +151,10 @@ class Cluster {
   /// the bundle (a "wal" store flushes + records a final wal.append span at
   /// destruction), so the tracer must outlive it.
   std::unique_ptr<obs::Observability> obs_;
+  /// Open-loop front end (null in closed loop). After obs_ (publishes svc.*
+  /// metrics into the bundle) and before shared_ (nodes reach it through
+  /// SharedClusterState::service).
+  std::unique_ptr<svc::ServiceFrontEnd> service_;
   std::unique_ptr<SharedClusterState> shared_;
   std::unique_ptr<ClusterMetrics> metrics_;
   std::vector<std::unique_ptr<ThunderboltNode>> nodes_;
@@ -142,10 +165,19 @@ class Cluster {
   /// per obs::Phase, for the same window-delta accounting.
   std::array<size_t, obs::kNumPhases> phase_cursor_{};
 
+  /// Front-end counter totals at the last window edge, for ClusterResult's
+  /// offered/admitted/rejected/shed window deltas.
+  svc::ServiceFrontEnd::Counters svc_snapshot_;
+
   /// Schedules the self-rechaining time-series sampler event at `when`
   /// (a window boundary on the sim clock). Started once, from the first
   /// Run, when config.obs.timeseries is set.
   void ScheduleWindowSample(SimTime when);
+
+  /// Self-rechaining arrival-pump event: admits every arrival at its exact
+  /// sim time, then re-arms at the next one. Started once, from the first
+  /// Run, when the service front end is enabled.
+  void PumpArrivals();
 };
 
 }  // namespace thunderbolt::core

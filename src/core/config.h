@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "net/network.h"
 #include "obs/obs.h"
+#include "svc/service.h"
 
 namespace thunderbolt::core {
 
@@ -92,6 +93,14 @@ struct ThunderboltConfig {
   /// ring buffer exported as Chrome trace JSON. Under the "sim" pool the
   /// trace is byte-deterministic per seed (determinism_test pins this).
   obs::ObsOptions obs;
+
+  // --- Service front end ------------------------------------------------------
+  /// Open-loop arrival + admission control (svc::ServiceFrontEnd). When
+  /// `service.enabled`, proposers pull admitted transactions from per-shard
+  /// bounded queues fed by a seeded arrival process instead of generating
+  /// fresh batches on demand; commit latency then measures arrival ->
+  /// commit. Disabled by default (closed loop, byte-identical to before).
+  svc::ServiceConfig service;
 
   // --- Network ---------------------------------------------------------------
   net::LatencyModel latency = net::LatencyModel::Lan();

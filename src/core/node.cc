@@ -149,11 +149,23 @@ bool ThunderboltNode::ConflictsWithPendingCross(
 
 void ThunderboltNode::PullBatch(std::vector<txn::Transaction>* singles,
                                 std::vector<txn::Transaction>* crosses) {
-  std::vector<txn::Transaction> batch =
-      workload_->MakeShardBatch(owned_shard_, config_.batch_size);
   SimTime now = simulator_->Now();
+  std::vector<txn::Transaction> batch;
+  if (shared_->service != nullptr) {
+    // Open loop: dequeue admitted transactions for this shard. They keep
+    // their arrival submit_time (the end-to-end latency origin); Dequeue
+    // stamps admit_time = now.
+    batch = shared_->service->Dequeue(owned_shard_, now, config_.batch_size);
+  } else {
+    // Closed loop: generate a fresh batch on demand; submission and
+    // admission coincide with the pull.
+    batch = workload_->MakeShardBatch(owned_shard_, config_.batch_size);
+    for (txn::Transaction& tx : batch) {
+      tx.submit_time = now;
+      tx.admit_time = now;
+    }
+  }
   for (txn::Transaction& tx : batch) {
-    tx.submit_time = now;
     if (config_.mode == ExecutionMode::kTusk ||
         !workload_->mapper().IsSingleShard(tx)) {
       crosses->push_back(std::move(tx));
@@ -633,7 +645,8 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
       if (valid) {
         for (const PreplayedTxn& p : payload->preplayed) {
           metrics_->samples.push_back(ClusterMetrics::CommitSample{
-              commit_pipeline_free_, p.tx.submit_time, false});
+              commit_pipeline_free_, p.tx.submit_time, p.tx.admit_time,
+              false});
           ++singles_done;
           ++shard_done[payload->shard].first;
           commit_apply.Observe(
@@ -642,7 +655,7 @@ void ThunderboltNode::OnCommit(const dag::CommittedSubDag& sub_dag) {
       }
       for (const txn::Transaction& tx : payload->cross_shard) {
         metrics_->samples.push_back(ClusterMetrics::CommitSample{
-            commit_pipeline_free_, tx.submit_time, true});
+            commit_pipeline_free_, tx.submit_time, tx.admit_time, true});
         ++crosses_done;
         ++shard_done[payload->shard].second;
         commit_apply.Observe(

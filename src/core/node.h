@@ -75,6 +75,10 @@ struct ClusterMetrics {
   struct CommitSample {
     SimTime completion;
     SimTime submit;
+    /// When the txn was pulled into a proposer batch; == submit in closed
+    /// loop, > submit by the admission-queue wait under the service front
+    /// end (completion - admit is the old admit->commit latency view).
+    SimTime admit;
     bool cross;  // OE path (cross-shard or Tusk raw) vs preplayed.
   };
   std::vector<CommitSample> samples;   // Monotone in `completion`.
@@ -122,6 +126,10 @@ struct SharedClusterState {
   /// enter an epoch performs the deterministic migration; peers share the
   /// policy object in this simulation).
   std::unordered_set<EpochId> rebalanced_epochs;
+  /// Open-loop service front end, owned by the Cluster; null in closed
+  /// loop. When set, PullBatch dequeues admitted transactions (arrival-
+  /// stamped submit_time) instead of generating fresh ones.
+  svc::ServiceFrontEnd* service = nullptr;
 };
 
 class ThunderboltNode {

@@ -26,6 +26,18 @@ double QueueDepthIn(const TimeSeriesWindow& w) {
     auto it = w.gauges.find(name);
     if (it != w.gauges.end() && it->second > depth) depth = it->second;
   }
+  // Admission-queue depths from the service front end, one labeled gauge
+  // per shard (svc.queue_depth{shard=k}); gauges is an ordered map, so the
+  // labeled family is a contiguous prefix range. Deepest queue wins: one
+  // saturated shard is queue growth even if the others drain fine.
+  static constexpr char kSvcDepth[] = "svc.queue_depth";
+  static constexpr size_t kSvcDepthLen = sizeof(kSvcDepth) - 1;
+  for (auto it = w.gauges.lower_bound(kSvcDepth);
+       it != w.gauges.end() &&
+       it->first.compare(0, kSvcDepthLen, kSvcDepth) == 0;
+       ++it) {
+    if (it->second > depth) depth = it->second;
+  }
   return depth;
 }
 

@@ -75,8 +75,15 @@ struct Transaction {
   std::vector<Value> params;
 
   /// Virtual time at which the client submitted the transaction; used for
-  /// end-to-end latency accounting.
+  /// end-to-end latency accounting. Under the open-loop service front end
+  /// this is the ARRIVAL time (stamped when the arrival process generated
+  /// the transaction); in closed-loop runs it equals admit_time.
   SimTime submit_time = 0;
+
+  /// Virtual time at which a proposer pulled the transaction into a batch
+  /// (== dequeue from the admission queue in open-loop runs). The gap
+  /// submit_time -> admit_time is the admission-queue wait.
+  SimTime admit_time = 0;
 
   Hash256 Digest() const;
 };

@@ -38,11 +38,17 @@ struct RunOutput {
   std::string phase_json;     // Per-phase latency decomposition.
 };
 
-/// (workload name, placement policy name, store backend name).
+/// (workload name, placement policy name, store backend name), plus an
+/// optional open-loop shape: when `arrival` is set the cluster runs with
+/// the service front end enabled (arrival process x admission policy) —
+/// arrivals are seeded simulator events, so the whole open-loop pipeline
+/// sits under the same byte-identical bar as the closed loop.
 struct DeterminismParam {
   const char* workload;
   const char* placement;
   const char* store;
+  const char* arrival = nullptr;
+  const char* admission = nullptr;
 };
 
 RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
@@ -62,6 +68,13 @@ RunOutput RunClusterOnce(const DeterminismParam& param, uint64_t seed) {
     // Exercise the migration path: periodic reconfigurations give the
     // directory policy boundaries to rebalance at.
     cfg.reconfig_period_k_prime = 8;
+  }
+  if (param.arrival != nullptr) {
+    cfg.service.enabled = true;
+    cfg.service.arrival = param.arrival;
+    cfg.service.admission = param.admission;
+    cfg.service.rate_tps = 4000;
+    cfg.service.queue_depth = 256;
   }
   workload::WorkloadOptions wc =
       testutil::WorkloadTestOptions(/*num_records=*/500, seed);
@@ -154,12 +167,24 @@ INSTANTIATE_TEST_SUITE_P(
                       DeterminismParam{
                           "tpcc_lite", "directory",
                           "wal:group_commit=2,checkpoint_every=64,"
-                          "inner=cached:capacity=128,inner=mem"}),
+                          "inner=cached:capacity=128,inner=mem"},
+                      // Open-loop entries: the service front end's arrival
+                      // schedule, admission decisions, queue-depth gauges
+                      // and end-to-end latency samples must all replay
+                      // byte-identically per seed.
+                      DeterminismParam{"smallbank", "hash", "mem", "poisson",
+                                       "drop-tail"},
+                      DeterminismParam{"ycsb", "hash", "mem", "burst",
+                                       "codel"}),
     [](const auto& info) {
       // Store specs carry ':', '=' and ',' — gtest names must stay
       // alphanumeric, so flatten every non-alnum byte to '_'.
       std::string name = std::string(info.param.workload) + "_" +
                          info.param.placement + "_" + info.param.store;
+      if (info.param.arrival != nullptr) {
+        name += std::string("_") + info.param.arrival + "_" +
+                info.param.admission;
+      }
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
